@@ -1,0 +1,19 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Each ``bench_*.py`` module regenerates one artefact of the evaluation
+section (Sec. V) and doubles as a pytest-benchmark target::
+
+    pytest benchmarks/ --benchmark-only      # run everything, timed
+    python -m benchmarks.report              # print all tables + paper-vs-measured
+
+Modules:
+
+* ``bench_central_plans``   — the naive sequential baselines (Sec. I/II claims)
+* ``bench_fig16_query1_grid`` — Fig 16: Query1 time over fanout vectors
+* ``bench_fig17_query2_grid`` — Fig 17: Query2 time over fanout vectors
+* ``bench_tree_shapes``     — Figs 14/15: flat vs unbalanced vs balanced trees
+* ``bench_fig21_adaptive``  — Fig 21: AFF_APPLYP vs best manual trees
+* ``bench_adaptation_trace``— Figs 18-20: the add/drop dynamics of one run
+* ``bench_ablations``       — design-choice ablations (contention model,
+  dispatch policy) called out in DESIGN.md
+"""

@@ -1,0 +1,64 @@
+"""Fig 16 — Query1 execution time over fanout vectors {fo1, fo2}.
+
+The paper varies fo1 and fo2 manually (up to 60 query processes) and
+finds the lowest execution-time region at 50-60 s with the best tree
+{5,4} at 56.4 s — a bushy tree close to, but not exactly, balanced —
+against a central plan of 244.8 s (speed-up 4.3).
+"""
+
+from benchmarks.harness import (
+    PAPER,
+    QUERY1_SQL,
+    Comparison,
+    fanout_grid,
+    format_grid,
+    near_balanced,
+    report,
+    run_central,
+)
+
+
+def _grid():
+    return fanout_grid(QUERY1_SQL)
+
+
+def test_fig16_query1_grid(benchmark) -> None:
+    cells = benchmark.pedantic(_grid, rounds=1, iterations=1)
+    central = run_central(QUERY1_SQL).elapsed
+    best = min(cells, key=cells.get)
+    best_time = cells[best]
+    print()
+    print(format_grid(cells, "Fig 16 — Query1 execution time (model s)"))
+    print(report([
+        Comparison("fig16", "central time (s)", PAPER["query1_central"],
+                   round(central, 1)),
+        Comparison("fig16", "best time (s)", PAPER["query1_best"],
+                   round(best_time, 1)),
+        Comparison("fig16", "best fanout vector",
+                   str(PAPER["query1_best_fanouts"]), str(best)),
+        Comparison("fig16", "speed-up over central", PAPER["query1_speedup"],
+                   round(central / best_time, 2)),
+    ]))
+
+    # Shape assertions mirroring the paper's findings.
+    assert 45.0 < best_time < 75.0  # lowest region 50-60 s
+    assert near_balanced(best)  # "close to, but not exactly, balanced"
+    assert 3.3 < central / best_time < 5.5  # speed-up ~4.3
+    # The optimum is interior: both the smallest and the largest trees in
+    # the grid are clearly worse than the best one.
+    assert cells[(1, 1)] > 2.5 * best_time
+    largest = max(cells, key=lambda c: c[0] + c[0] * c[1])
+    assert cells[largest] > 1.05 * best_time
+    # {1,1} is as slow as the central plan (same sequential behaviour plus
+    # messaging overhead).
+    assert cells[(1, 1)] > 0.9 * central
+
+
+def main() -> None:
+    cells = _grid()
+    print(format_grid(cells, "Fig 16 — Query1 execution time (model s)"))
+    print(f"central: {run_central(QUERY1_SQL).elapsed:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

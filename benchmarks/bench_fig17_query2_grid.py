@@ -1,0 +1,58 @@
+"""Fig 17 — Query2 execution time over fanout vectors {fo1, fo2}.
+
+Paper: best execution time 1243.89 s for fanout vector {4,3}, a speed-up
+of nearly 2 over the central plan's 2412.95 s; the low region is
+1200-1400 s.  The modest ceiling comes from the USZip / Zipcodes services
+degrading under concurrent load.
+"""
+
+from benchmarks.harness import (
+    PAPER,
+    QUERY2_SQL,
+    Comparison,
+    fanout_grid,
+    format_grid,
+    near_balanced,
+    report,
+    run_central,
+)
+
+
+def _grid():
+    return fanout_grid(QUERY2_SQL)
+
+
+def test_fig17_query2_grid(benchmark) -> None:
+    cells = benchmark.pedantic(_grid, rounds=1, iterations=1)
+    central = run_central(QUERY2_SQL).elapsed
+    best = min(cells, key=cells.get)
+    best_time = cells[best]
+    print()
+    print(format_grid(cells, "Fig 17 — Query2 execution time (model s)"))
+    print(report([
+        Comparison("fig17", "central time (s)", PAPER["query2_central"],
+                   round(central, 1)),
+        Comparison("fig17", "best time (s)", PAPER["query2_best"],
+                   round(best_time, 1)),
+        Comparison("fig17", "best fanout vector",
+                   str(PAPER["query2_best_fanouts"]), str(best)),
+        Comparison("fig17", "speed-up over central", PAPER["query2_speedup"],
+                   round(central / best_time, 2)),
+    ]))
+
+    assert 1100.0 < best_time < 1400.0  # paper's low region 1200-1400 s
+    assert near_balanced(best, slack=1)  # {4,3}
+    assert 1.7 < central / best_time < 2.3  # "speed up of nearly 2"
+    assert cells[(1, 1)] > 1.6 * best_time
+    largest = max(cells, key=lambda c: c[0] + c[0] * c[1])
+    assert cells[largest] > 1.02 * best_time
+
+
+def main() -> None:
+    cells = _grid()
+    print(format_grid(cells, "Fig 17 — Query2 execution time (model s)"))
+    print(f"central: {run_central(QUERY2_SQL).elapsed:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Regenerate every figure/table of the paper in one run.
+
+Usage::
+
+    python -m benchmarks.report
+
+Prints, in order: the central baselines, the Fig 16 and Fig 17 grids, the
+tree-shape comparison, the Fig 21 adaptive sweep, the adaptation timeline
+and the ablations.  EXPERIMENTS.md records a snapshot of this output.
+"""
+
+from __future__ import annotations
+
+from benchmarks import (
+    bench_ablations,
+    bench_adaptation_trace,
+    bench_central_plans,
+    bench_fig16_query1_grid,
+    bench_fig17_query2_grid,
+    bench_fig21_adaptive,
+    bench_prefetch,
+    bench_scaling,
+    bench_threshold_sweep,
+    bench_tree_shapes,
+)
+
+SECTIONS = (
+    ("Central baselines (Secs. I/II/V)", bench_central_plans.main),
+    ("Fig 16", bench_fig16_query1_grid.main),
+    ("Fig 17", bench_fig17_query2_grid.main),
+    ("Tree shapes (Figs 14/15)", bench_tree_shapes.main),
+    ("Fig 21", bench_fig21_adaptive.main),
+    ("Threshold sweep (Sec. V.A)", bench_threshold_sweep.main),
+    ("Adaptation timeline (Figs 18-20)", bench_adaptation_trace.main),
+    ("Ablations", bench_ablations.main),
+    ("Prefetch depth ablation", bench_prefetch.main),
+    ("Workload scaling", bench_scaling.main),
+)
+
+
+def main() -> None:
+    for title, run in SECTIONS:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        run()
+        print()
+
+
+if __name__ == "__main__":
+    main()

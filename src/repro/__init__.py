@@ -1,0 +1,75 @@
+"""WSMED reproduction: adaptive parallelization of queries over dependent
+web service calls (Sabesan & Risch, ICDE 2009).
+
+Quick start::
+
+    from repro import WSMED, QUERY1_SQL
+
+    wsmed = WSMED(profile="paper")
+    wsmed.import_all()
+    central = wsmed.sql(QUERY1_SQL, mode="central")
+    best = wsmed.sql(QUERY1_SQL, mode="parallel", fanouts=[5, 4])
+    adaptive = wsmed.sql(QUERY1_SQL, mode="adaptive")
+    print(central.elapsed, best.elapsed, adaptive.elapsed)
+
+The package layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.runtime` — virtual-time and real-time execution kernels,
+* :mod:`repro.services` — the simulated web-service substrate,
+* :mod:`repro.fdb` — the functional main-memory DBMS substrate,
+* :mod:`repro.sql`, :mod:`repro.calculus`, :mod:`repro.algebra` — the
+  query compiler (SQL -> calculus -> central plan),
+* :mod:`repro.parallel` — ``FF_APPLYP`` / ``AFF_APPLYP`` and process trees,
+* :mod:`repro.wsmed` — the mediator facade tying it all together.
+"""
+
+from repro.algebra.plan import AdaptationParams
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.tree import FanoutVector
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.simulated import SimKernel
+from repro.services.geodata import GeoConfig, GeoDatabase
+from repro.services.registry import ServiceRegistry, build_registry
+from repro.util.errors import ReproError
+from repro.wsmed.results import QueryResult
+from repro.wsmed.system import WSMED, ExecutionMode
+
+__version__ = "1.0.0"
+
+# The paper's two example queries (Figs 1 and 3), ready to run.
+QUERY1_SQL = """
+Select gl.placename, gl.state
+From   GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl
+Where  gs.State = gp.state and gp.distance = 15.0
+  and  gp.placeTypeToFind = 'City' and gp.place = 'Atlanta'
+  and  gl.placeName = gp.ToCity + ', ' + gp.ToState
+  and  gl.MaxItems = 100 and gl.imagePresence = 'true'
+"""
+
+QUERY2_SQL = """
+Select gp.ToState, gp.zip
+From   GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp
+Where  gs.State = gi.USState and
+       gi.GetInfoByStateResult = gc.zipstr and
+       gc.zipcode = gp.zip and
+       gp.ToPlace = 'USAF Academy'
+"""
+
+__all__ = [
+    "AdaptationParams",
+    "ProcessCosts",
+    "FanoutVector",
+    "AsyncioKernel",
+    "SimKernel",
+    "GeoConfig",
+    "GeoDatabase",
+    "ServiceRegistry",
+    "build_registry",
+    "ReproError",
+    "QueryResult",
+    "WSMED",
+    "ExecutionMode",
+    "QUERY1_SQL",
+    "QUERY2_SQL",
+    "__version__",
+]

@@ -1,0 +1,354 @@
+"""The central plan creator (paper Fig 5, "central plan creator").
+
+Orders the calculus predicates so every function's inputs are bound before
+it executes — the dependent-join ordering under limited access patterns —
+and emits a left-deep chain of apply operators like the paper's Figs 6
+and 10.  The ordering heuristic is the paper's "simple heuristic web
+service cost model based on the signatures": local helping functions are
+free and scheduled as early as possible, web-service operations are
+expensive and keep their query order among themselves; filters run at the
+earliest point their variables are available; projections prune dead
+columns after every step.
+
+Queries mixing *independent* service chains — the paper's future-work
+direction (Sec. VII) — are planned as bushy trees: each connected
+component of the dependency graph becomes its own chain, and the chains
+are combined with hash equi-joins whose inputs evaluate concurrently.
+
+``DISTINCT`` / ``ORDER BY`` / ``LIMIT`` become post-processing operators
+above the head projection; the parallelizer keeps them in the coordinator.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColExpr, columns_of, expr_from_calculus
+from repro.algebra.plan import (
+    ApplyNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    MapNode,
+    PlanNode,
+    ProjectNode,
+    SingletonNode,
+    SortNode,
+)
+from repro.calculus.expressions import (
+    CalculusQuery,
+    Concat,
+    FilterPredicate,
+    FunctionPredicate,
+    Var,
+)
+from repro.fdb.functions import FunctionKind, FunctionRegistry
+from repro.util.errors import BindingError, PlanError
+
+
+def create_central_plan(
+    calculus: CalculusQuery, registry: FunctionRegistry
+) -> PlanNode:
+    """Build the sequential (central) execution plan for ``calculus``."""
+    return _Builder(calculus, registry).build()
+
+
+class _Builder:
+    def __init__(self, calculus: CalculusQuery, registry: FunctionRegistry) -> None:
+        self.calculus = calculus
+        self.registry = registry
+        self._synthetic = 0
+
+    # -- entry point -------------------------------------------------------------
+
+    def build(self) -> PlanNode:
+        components = self._components()
+        cross_filters = self._cross_filters(components)
+        chains = [
+            self._build_chain(
+                component, self._component_filters(component), cross_filters
+            )
+            for component in components
+        ]
+        plan = self._join_components(chains, components, cross_filters)
+        plan = self._project_head(plan)
+        return self._post_process(plan)
+
+    # -- component analysis --------------------------------------------------------
+
+    def _components(self) -> list[list[FunctionPredicate]]:
+        """Connected components of function predicates sharing variables."""
+        predicates = self.calculus.function_predicates()
+        parents = list(range(len(predicates)))
+
+        def find(i: int) -> int:
+            while parents[i] != i:
+                parents[i] = parents[parents[i]]
+                i = parents[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parents[find(i)] = find(j)
+
+        owner: dict[str, int] = {}
+        for index, predicate in enumerate(predicates):
+            names = {v.name for v in predicate.input_variables()}
+            names |= {v.name for v in predicate.outputs}
+            for name in names:
+                if name in owner:
+                    union(index, owner[name])
+                else:
+                    owner[name] = index
+        groups: dict[int, list[FunctionPredicate]] = {}
+        for index, predicate in enumerate(predicates):
+            groups.setdefault(find(index), []).append(predicate)
+        # Preserve query order of first appearance.
+        ordered = sorted(groups.values(), key=lambda g: predicates.index(g[0]))
+        return ordered
+
+    @staticmethod
+    def _component_vars(component: list[FunctionPredicate]) -> set[str]:
+        names: set[str] = set()
+        for predicate in component:
+            names |= {v.name for v in predicate.input_variables()}
+            names |= {v.name for v in predicate.outputs}
+        return names
+
+    def _component_filters(
+        self, component: list[FunctionPredicate]
+    ) -> list[FilterPredicate]:
+        names = self._component_vars(component)
+        return [
+            predicate
+            for predicate in self.calculus.filter_predicates()
+            if {v.name for v in predicate.input_variables()} <= names
+        ]
+
+    def _cross_filters(
+        self, components: list[list[FunctionPredicate]]
+    ) -> list[FilterPredicate]:
+        if len(components) <= 1:
+            return []
+        component_vars = [self._component_vars(c) for c in components]
+        cross = []
+        for predicate in self.calculus.filter_predicates():
+            needed = {v.name for v in predicate.input_variables()}
+            if not any(needed <= names for names in component_vars):
+                cross.append(predicate)
+        return cross
+
+    # -- one dependent chain -----------------------------------------------------------
+
+    def _build_chain(
+        self,
+        component: list[FunctionPredicate],
+        filters: list[FilterPredicate],
+        cross_filters: list[FilterPredicate],
+    ) -> PlanNode:
+        remaining = list(component)
+        pending = list(filters)
+        plan: PlanNode = SingletonNode()
+        while remaining:
+            predicate = self._pick_next(remaining, set(plan.schema))
+            remaining.remove(predicate)
+            live_later = self._live_columns(remaining, pending + cross_filters)
+            plan = self._apply_predicate(plan, predicate, live_later)
+            plan, pending = self._apply_ready_filters(plan, pending)
+            plan = self._prune(plan, remaining, pending + cross_filters)
+        if pending:
+            unmet = "; ".join(str(f) for f in pending)
+            raise BindingError(f"filters reference unavailable columns: {unmet}")
+        return plan
+
+    # -- joining independent chains ---------------------------------------------------------
+
+    def _join_components(
+        self,
+        chains: list[PlanNode],
+        components: list[list[FunctionPredicate]],
+        cross_filters: list[FilterPredicate],
+    ) -> PlanNode:
+        plan = chains[0]
+        pending = list(cross_filters)
+        for chain in chains[1:]:
+            conditions, pending = self._split_join_conditions(plan, chain, pending)
+            if not conditions:
+                raise BindingError(
+                    "independent service chains must be connected by at "
+                    "least one equality predicate (cartesian products over "
+                    "web services are not supported)"
+                )
+            plan = JoinNode(left=plan, right=chain, conditions=tuple(conditions))
+            # Filters that became evaluable after this join.
+            still_pending = []
+            for predicate in pending:
+                needed = {v.name for v in predicate.input_variables()}
+                if needed <= set(plan.schema):
+                    plan = FilterNode(
+                        plan,
+                        predicate.op,
+                        expr_from_calculus(predicate.left),
+                        expr_from_calculus(predicate.right),
+                    )
+                else:
+                    still_pending.append(predicate)
+            pending = still_pending
+        if pending:
+            unmet = "; ".join(str(f) for f in pending)
+            raise BindingError(f"filters reference unavailable columns: {unmet}")
+        return plan
+
+    @staticmethod
+    def _split_join_conditions(
+        left: PlanNode, right: PlanNode, cross_filters: list[FilterPredicate]
+    ) -> tuple[list[tuple[str, str]], list[FilterPredicate]]:
+        """Extract Var = Var equalities joining ``left`` with ``right``."""
+        conditions: list[tuple[str, str]] = []
+        rest: list[FilterPredicate] = []
+        for predicate in cross_filters:
+            usable = (
+                predicate.op == "="
+                and isinstance(predicate.left, Var)
+                and isinstance(predicate.right, Var)
+            )
+            if usable:
+                a, b = predicate.left.name, predicate.right.name
+                if a in left.schema and b in right.schema:
+                    conditions.append((a, b))
+                    continue
+                if b in left.schema and a in right.schema:
+                    conditions.append((b, a))
+                    continue
+            rest.append(predicate)
+        return conditions, rest
+
+    # -- ordering -----------------------------------------------------------------
+
+    def _pick_next(
+        self, remaining: list[FunctionPredicate], available: set[str]
+    ) -> FunctionPredicate:
+        eligible = [
+            predicate
+            for predicate in remaining
+            if {v.name for v in predicate.input_variables()} <= available
+        ]
+        if not eligible:
+            blocked = "; ".join(
+                f"{p.function} needs "
+                f"{sorted(v.name for v in p.input_variables() - _vars(available))}"
+                for p in remaining
+            )
+            raise BindingError(
+                f"no executable predicate — binding patterns cannot be "
+                f"satisfied: {blocked}"
+            )
+        cheap = [
+            predicate
+            for predicate in eligible
+            if self.registry.resolve(predicate.function).kind
+            is not FunctionKind.OWF
+        ]
+        return (cheap or eligible)[0]
+
+    # -- plan construction ------------------------------------------------------------
+
+    def _apply_predicate(
+        self, plan: PlanNode, predicate: FunctionPredicate, live_later: set[str]
+    ) -> PlanNode:
+        arguments = []
+        for argument in predicate.arguments:
+            expression = expr_from_calculus(argument)
+            if isinstance(argument, Concat):
+                # The paper applies concat with its own γ operator (Fig 6)
+                # before the dependent call; mirror that with a map node.
+                self._synthetic += 1
+                column = f"expr{self._synthetic}"
+                plan = MapNode(plan, expression, column)
+                expression = ColExpr(column)
+            arguments.append(expression)
+        # Prune before the apply, so a parallelizable section's parameter
+        # tuple is as narrow as the paper's plan functions (PF2 takes only
+        # the concatenated place specification, Fig 8).
+        needed = set(live_later)
+        for expression in arguments:
+            needed |= columns_of(expression)
+        keep = tuple(column for column in plan.schema if column in needed)
+        if keep != plan.schema:
+            plan = ProjectNode(plan, tuple((c, ColExpr(c)) for c in keep))
+        return ApplyNode(
+            child=plan,
+            function=predicate.function,
+            arguments=tuple(arguments),
+            out_columns=tuple(v.name for v in predicate.outputs),
+        )
+
+    def _apply_ready_filters(
+        self, plan: PlanNode, filters: list[FilterPredicate]
+    ) -> tuple[PlanNode, list[FilterPredicate]]:
+        pending = []
+        for predicate in filters:
+            needed = {v.name for v in predicate.input_variables()}
+            if needed <= set(plan.schema):
+                plan = FilterNode(
+                    plan,
+                    predicate.op,
+                    expr_from_calculus(predicate.left),
+                    expr_from_calculus(predicate.right),
+                )
+            else:
+                pending.append(predicate)
+        return plan, pending
+
+    def _live_columns(
+        self,
+        remaining: list[FunctionPredicate],
+        filters: list[FilterPredicate],
+    ) -> set[str]:
+        """Columns still needed by later predicates, filters or the head."""
+        live: set[str] = set()
+        for predicate in remaining:
+            live |= {v.name for v in predicate.input_variables()}
+        for predicate in filters:
+            live |= {v.name for v in predicate.input_variables()}
+        for item in self.calculus.head:
+            live |= {
+                column
+                for column in columns_of(expr_from_calculus(item.expression))
+            }
+        return live
+
+    def _prune(
+        self,
+        plan: PlanNode,
+        remaining: list[FunctionPredicate],
+        filters: list[FilterPredicate],
+    ) -> PlanNode:
+        """Project away columns nothing downstream will read."""
+        live = self._live_columns(remaining, filters)
+        keep = tuple(column for column in plan.schema if column in live)
+        if keep == plan.schema:
+            return plan
+        return ProjectNode(plan, tuple((column, ColExpr(column)) for column in keep))
+
+    def _project_head(self, plan: PlanNode) -> PlanNode:
+        items = tuple(
+            (item.name, expr_from_calculus(item.expression))
+            for item in self.calculus.head
+        )
+        return ProjectNode(plan, items)
+
+    def _post_process(self, plan: PlanNode) -> PlanNode:
+        """DISTINCT / ORDER BY / LIMIT above the head projection."""
+        if self.calculus.distinct:
+            plan = DistinctNode(plan)
+        if self.calculus.order_by:
+            for column, _ in self.calculus.order_by:
+                if column not in plan.schema:
+                    raise PlanError(f"unknown ORDER BY column {column!r}")
+            plan = SortNode(plan, tuple(self.calculus.order_by))
+        if self.calculus.limit is not None:
+            plan = LimitNode(plan, self.calculus.limit)
+        return plan
+
+
+def _vars(names: set[str]) -> set[Var]:
+    return {Var(name) for name in names}

@@ -1,0 +1,112 @@
+"""Heuristic cost model.
+
+The central plan creator only needs web-service-is-expensive ordering, but
+``explain`` also reports estimated call counts and time so a user can see
+*why* a sequential plan is slow before running it.  Estimates use assumed
+per-operation fanouts (how many rows one call returns) and per-call costs;
+both can be overridden, and the WSMED facade fills per-call costs in from
+the registered endpoint profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import (
+    AFFApplyNode,
+    ApplyNode,
+    FFApplyNode,
+    FilterNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+)
+from repro.fdb.functions import FunctionKind, FunctionRegistry
+
+
+@dataclass
+class CostModel:
+    """Assumptions for plan estimation.
+
+    ``fanouts``        rows returned per call, by function name.
+    ``call_costs``     seconds per call, by function name.
+    ``default_fanout`` used for functions without an entry.
+    ``default_cost``   used for OWFs without an entry (helping functions
+                       and built-ins are free, matching the planner).
+    ``selectivity``    assumed filter pass rate.
+    """
+
+    fanouts: dict[str, float] = field(default_factory=dict)
+    call_costs: dict[str, float] = field(default_factory=dict)
+    default_fanout: float = 10.0
+    default_cost: float = 0.5
+    selectivity: float = 0.5
+
+    def fanout(self, function: str) -> float:
+        return self.fanouts.get(function, self.default_fanout)
+
+    def call_cost(self, function: str) -> float:
+        return self.call_costs.get(function, self.default_cost)
+
+
+@dataclass
+class PlanEstimate:
+    """Estimated execution profile of a plan."""
+
+    calls: dict[str, float] = field(default_factory=dict)
+    output_cardinality: float = 1.0
+    sequential_time: float = 0.0
+
+    @property
+    def total_calls(self) -> float:
+        return sum(self.calls.values())
+
+
+def estimate_plan(
+    plan: PlanNode, registry: FunctionRegistry, model: CostModel | None = None
+) -> PlanEstimate:
+    """Estimate call counts and sequential time for ``plan``."""
+    model = model or CostModel()
+    estimate = PlanEstimate()
+    estimate.output_cardinality = _walk(plan, registry, model, estimate)
+    return estimate
+
+
+def _walk(
+    node: PlanNode,
+    registry: FunctionRegistry,
+    model: CostModel,
+    estimate: PlanEstimate,
+) -> float:
+    """Return the node's estimated output cardinality, accumulating calls."""
+    if isinstance(node, ApplyNode):
+        in_card = _walk(node.child, registry, model, estimate)
+        function = registry.resolve(node.function)
+        if function.kind is FunctionKind.OWF:
+            estimate.calls[function.name] = (
+                estimate.calls.get(function.name, 0.0) + in_card
+            )
+            estimate.sequential_time += in_card * model.call_cost(function.name)
+        return in_card * model.fanout(node.function)
+    if isinstance(node, FilterNode):
+        return _walk(node.child, registry, model, estimate) * model.selectivity
+    if isinstance(node, MapNode):
+        return _walk(node.child, registry, model, estimate)
+    if isinstance(node, JoinNode):
+        left_card = _walk(node.left, registry, model, estimate)
+        right_card = _walk(node.right, registry, model, estimate)
+        # Equi-join cardinality estimate: the smaller side keys the match.
+        return max(1.0, min(left_card, right_card)) * model.selectivity * 2.0
+    if isinstance(node, (FFApplyNode, AFFApplyNode)):
+        in_card = _walk(node.child, registry, model, estimate)
+        # The shipped body runs once per parameter tuple.
+        body_estimate = PlanEstimate()
+        body_card = _walk(node.plan_function.body, registry, model, body_estimate)
+        for name, calls in body_estimate.calls.items():
+            estimate.calls[name] = estimate.calls.get(name, 0.0) + calls * in_card
+        estimate.sequential_time += body_estimate.sequential_time * in_card
+        return body_card * in_card
+    children = node.children()
+    if not children:
+        return 1.0
+    return _walk(children[0], registry, model, estimate)

@@ -1,0 +1,549 @@
+"""Plan nodes and plan functions.
+
+A plan is a tree of operator nodes, each with a static output ``schema``
+(tuple of column names; runtime rows are plain tuples in schema order).
+Plans and the plan functions that embed them serialize to dicts — this is
+the representation shipped to child query processes by ``FF_APPLYP``.
+
+Node inventory (paper correspondence):
+
+* :class:`SingletonNode` — emits one empty row; the anchor below an OWF
+  call with constant-only arguments (``GetAllStates`` in Fig 6).
+* :class:`ParamNode` — the parameter-tuple stream inside a plan function
+  (the ``<st1>`` input of PF1 in Fig 7).
+* :class:`ApplyNode` — the γ apply operator: call a function per input row.
+* :class:`MapNode` — compute a derived column (``concat`` in Fig 6).
+* :class:`FilterNode` — a comparison filter (``equal`` in Fig 10).
+* :class:`ProjectNode` — projection / column renaming.
+* :class:`FFApplyNode` — ``FF_APPLYP``: ship a plan function to ``fanout``
+  children and stream parameter tuples to them (Sec. III.A).
+* :class:`AFFApplyNode` — ``AFF_APPLYP``: the adaptive variant (Sec. V.A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.expressions import (
+    RowExpr,
+    expr_from_dict,
+    expr_to_dict,
+    render_expr,
+)
+from repro.util.errors import PlanError
+
+
+@dataclass(frozen=True)
+class AdaptationParams:
+    """Tuning of ``AFF_APPLYP`` (paper Sec. V.A).
+
+    ``p``           children added per add stage.
+    ``threshold``   relative improvement that re-triggers the add stage
+                    (the paper evaluates 25 %).
+    ``drop_stage``  whether a slowdown triggers dropping a child subtree.
+    ``init_fanout`` fanout of the initial balanced tree (paper: binary).
+    ``max_fanout``  safety bound on a single node's fanout.
+    """
+
+    p: int = 2
+    threshold: float = 0.25
+    drop_stage: bool = False
+    init_fanout: int = 2
+    max_fanout: int = 16
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise PlanError(f"adaptation p must be >= 1, got {self.p}")
+        if not 0.0 < self.threshold < 1.0:
+            raise PlanError("adaptation threshold must be in (0, 1)")
+        if self.init_fanout < 1:
+            raise PlanError("init_fanout must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "threshold": self.threshold,
+            "drop_stage": self.drop_stage,
+            "init_fanout": self.init_fanout,
+            "max_fanout": self.max_fanout,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "AdaptationParams":
+        return AdaptationParams(**data)
+
+
+class PlanNode(ABC):
+    """Base class: every node knows its output schema and children."""
+
+    schema: tuple[str, ...]
+
+    @abstractmethod
+    def children(self) -> list["PlanNode"]: ...
+
+    @abstractmethod
+    def label(self) -> str:
+        """One-line description used by plan rendering."""
+
+    @abstractmethod
+    def to_dict(self) -> dict: ...
+
+
+@dataclass
+class SingletonNode(PlanNode):
+    schema: tuple[str, ...] = ()
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def label(self) -> str:
+        return "singleton"
+
+    def to_dict(self) -> dict:
+        return {"kind": "singleton"}
+
+
+@dataclass
+class ParamNode(PlanNode):
+    schema: tuple[str, ...]
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def label(self) -> str:
+        return f"param<{', '.join(self.schema)}>"
+
+    def to_dict(self) -> dict:
+        return {"kind": "param", "schema": list(self.schema)}
+
+
+@dataclass
+class ApplyNode(PlanNode):
+    """γ: for each input row, call ``function`` and append its outputs."""
+
+    child: PlanNode
+    function: str
+    arguments: tuple[RowExpr, ...]
+    out_columns: tuple[str, ...]
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        overlap = set(self.child.schema) & set(self.out_columns)
+        if overlap:
+            raise PlanError(
+                f"apply of {self.function!r} would duplicate columns {overlap}"
+            )
+        self.schema = self.child.schema + self.out_columns
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        rendered = ", ".join(render_expr(a) for a in self.arguments)
+        outs = ", ".join(self.out_columns)
+        return f"γ {self.function}({rendered}) -> <{outs}>"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "apply",
+            "child": self.child.to_dict(),
+            "function": self.function,
+            "arguments": [expr_to_dict(a) for a in self.arguments],
+            "out_columns": list(self.out_columns),
+        }
+
+
+@dataclass
+class MapNode(PlanNode):
+    """Append one computed column."""
+
+    child: PlanNode
+    expression: RowExpr
+    out_column: str
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.out_column in self.child.schema:
+            raise PlanError(f"map would duplicate column {self.out_column!r}")
+        self.schema = self.child.schema + (self.out_column,)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"γ map {self.out_column} = {render_expr(self.expression)}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "map",
+            "child": self.child.to_dict(),
+            "expression": expr_to_dict(self.expression),
+            "out_column": self.out_column,
+        }
+
+
+_FILTER_OPS = ("=", "<", ">", "<=", ">=", "<>")
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    op: str
+    left: RowExpr
+    right: RowExpr
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _FILTER_OPS:
+            raise PlanError(f"unknown filter operator {self.op!r}")
+        self.schema = self.child.schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"σ {render_expr(self.left)} {self.op} {render_expr(self.right)}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "filter",
+            "child": self.child.to_dict(),
+            "op": self.op,
+            "left": expr_to_dict(self.left),
+            "right": expr_to_dict(self.right),
+        }
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Project/rename: each item is (output name, expression)."""
+
+    child: PlanNode
+    items: tuple[tuple[str, RowExpr], ...]
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.items]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate projection columns: {names}")
+        self.schema = tuple(names)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        rendered = ", ".join(
+            name if str(expr) == name else f"{name}={render_expr(expr)}"
+            for name, expr in self.items
+        )
+        return f"π {rendered}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "project",
+            "child": self.child.to_dict(),
+            "items": [[name, expr_to_dict(expr)] for name, expr in self.items],
+        }
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """Eliminate duplicate rows, streaming (first occurrence wins)."""
+
+    child: PlanNode
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "distinct"
+
+    def to_dict(self) -> dict:
+        return {"kind": "distinct", "child": self.child.to_dict()}
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Order rows by one or more columns.  Blocking: runs in the
+    coordinator, never inside a shipped plan function."""
+
+    child: PlanNode
+    keys: tuple[tuple[str, bool], ...]  # (column, ascending)
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        for column, _ in self.keys:
+            if column not in self.child.schema:
+                raise PlanError(
+                    f"sort key {column!r} is not in the input schema "
+                    f"{self.child.schema}"
+                )
+        self.schema = self.child.schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        rendered = ", ".join(
+            f"{column}{'' if ascending else ' desc'}" for column, ascending in self.keys
+        )
+        return f"sort {rendered}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "sort",
+            "child": self.child.to_dict(),
+            "keys": [[column, ascending] for column, ascending in self.keys],
+        }
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """Emit at most ``count`` rows, then stop consuming the child —
+    in-flight web service calls below are abandoned early."""
+
+    child: PlanNode
+    count: int
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise PlanError(f"limit must be non-negative, got {self.count}")
+        self.schema = self.child.schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"limit {self.count}"
+
+    def to_dict(self) -> dict:
+        return {"kind": "limit", "child": self.child.to_dict(), "count": self.count}
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Hash equi-join of two *independent* sub-plans.
+
+    This implements the paper's future-work direction (Sec. VII): queries
+    mixing dependent and independent web service calls.  Both inputs are
+    evaluated concurrently (their service-call chains overlap in time);
+    the right side is built into a hash table and probed with the left.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    conditions: tuple[tuple[str, str], ...]  # (left column, right column)
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise PlanError("join requires at least one equality condition")
+        overlap = set(self.left.schema) & set(self.right.schema)
+        if overlap:
+            raise PlanError(f"join inputs share column names: {sorted(overlap)}")
+        for left_column, right_column in self.conditions:
+            if left_column not in self.left.schema:
+                raise PlanError(f"join key {left_column!r} not in left schema")
+            if right_column not in self.right.schema:
+                raise PlanError(f"join key {right_column!r} not in right schema")
+        self.schema = self.left.schema + self.right.schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        rendered = ", ".join(f"{l} = {r}" for l, r in self.conditions)
+        return f"⋈ {rendered}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "join",
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+            "conditions": [list(pair) for pair in self.conditions],
+        }
+
+
+@dataclass
+class PlanFunction:
+    """A parameterized sub-query shipped to child query processes.
+
+    ``body`` contains exactly one :class:`ParamNode` whose schema equals
+    ``param_schema``; calling the plan function for a parameter tuple means
+    executing the body with the param node bound to that single tuple.
+    """
+
+    name: str
+    param_schema: tuple[str, ...]
+    body: PlanNode
+
+    @property
+    def result_schema(self) -> tuple[str, ...]:
+        return self.body.schema
+
+    def signature(self) -> str:
+        params = ", ".join(self.param_schema)
+        results = ", ".join(self.result_schema)
+        return f"{self.name}({params}) -> Stream of <{results}>"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "param_schema": list(self.param_schema),
+            "body": self.body.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PlanFunction":
+        return PlanFunction(
+            name=data["name"],
+            param_schema=tuple(data["param_schema"]),
+            body=plan_from_dict(data["body"]),
+        )
+
+
+@dataclass
+class FFApplyNode(PlanNode):
+    """``FF_APPLYP(pf, fo, pstream)``: parallel apply of a plan function."""
+
+    child: PlanNode  # produces pstream, the parameter-tuple stream
+    plan_function: PlanFunction
+    fanout: int
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise PlanError(f"fanout must be >= 1, got {self.fanout}")
+        if tuple(self.child.schema) != tuple(self.plan_function.param_schema):
+            raise PlanError(
+                f"FF_APPLYP input schema {self.child.schema} does not match "
+                f"plan function parameters {self.plan_function.param_schema}"
+            )
+        self.schema = self.plan_function.result_schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return (
+            f"FF_APPLYP[{self.plan_function.name}, fo={self.fanout}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "ff_apply",
+            "child": self.child.to_dict(),
+            "plan_function": self.plan_function.to_dict(),
+            "fanout": self.fanout,
+        }
+
+
+@dataclass
+class AFFApplyNode(PlanNode):
+    """``AFF_APPLYP(pf, pstream)``: adaptive parallel apply (no fanout arg)."""
+
+    child: PlanNode
+    plan_function: PlanFunction
+    params: AdaptationParams
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if tuple(self.child.schema) != tuple(self.plan_function.param_schema):
+            raise PlanError(
+                f"AFF_APPLYP input schema {self.child.schema} does not match "
+                f"plan function parameters {self.plan_function.param_schema}"
+            )
+        self.schema = self.plan_function.result_schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return (
+            f"AFF_APPLYP[{self.plan_function.name}, p={self.params.p}, "
+            f"drop={'on' if self.params.drop_stage else 'off'}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "aff_apply",
+            "child": self.child.to_dict(),
+            "plan_function": self.plan_function.to_dict(),
+            "params": self.params.to_dict(),
+        }
+
+
+def plan_from_dict(data: dict) -> PlanNode:
+    """Deserialize a plan tree (inverse of each node's ``to_dict``)."""
+    kind = data.get("kind")
+    if kind == "singleton":
+        return SingletonNode()
+    if kind == "param":
+        return ParamNode(schema=tuple(data["schema"]))
+    if kind == "apply":
+        return ApplyNode(
+            child=plan_from_dict(data["child"]),
+            function=data["function"],
+            arguments=tuple(expr_from_dict(a) for a in data["arguments"]),
+            out_columns=tuple(data["out_columns"]),
+        )
+    if kind == "map":
+        return MapNode(
+            child=plan_from_dict(data["child"]),
+            expression=expr_from_dict(data["expression"]),
+            out_column=data["out_column"],
+        )
+    if kind == "filter":
+        return FilterNode(
+            child=plan_from_dict(data["child"]),
+            op=data["op"],
+            left=expr_from_dict(data["left"]),
+            right=expr_from_dict(data["right"]),
+        )
+    if kind == "project":
+        return ProjectNode(
+            child=plan_from_dict(data["child"]),
+            items=tuple((name, expr_from_dict(expr)) for name, expr in data["items"]),
+        )
+    if kind == "distinct":
+        return DistinctNode(child=plan_from_dict(data["child"]))
+    if kind == "sort":
+        return SortNode(
+            child=plan_from_dict(data["child"]),
+            keys=tuple((column, ascending) for column, ascending in data["keys"]),
+        )
+    if kind == "limit":
+        return LimitNode(child=plan_from_dict(data["child"]), count=data["count"])
+    if kind == "join":
+        return JoinNode(
+            left=plan_from_dict(data["left"]),
+            right=plan_from_dict(data["right"]),
+            conditions=tuple(tuple(pair) for pair in data["conditions"]),
+        )
+    if kind == "ff_apply":
+        return FFApplyNode(
+            child=plan_from_dict(data["child"]),
+            plan_function=PlanFunction.from_dict(data["plan_function"]),
+            fanout=data["fanout"],
+        )
+    if kind == "aff_apply":
+        return AFFApplyNode(
+            child=plan_from_dict(data["child"]),
+            plan_function=PlanFunction.from_dict(data["plan_function"]),
+            params=AdaptationParams.from_dict(data["params"]),
+        )
+    raise PlanError(f"cannot deserialize plan node from {data!r}")
+
+
+def walk(node: PlanNode):
+    """Depth-first iteration over a plan tree (node first, then children)."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

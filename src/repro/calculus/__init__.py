@@ -1,0 +1,33 @@
+"""Conjunctive calculus: the planner's internal query representation.
+
+The calculus generator translates a parsed SQL query into a conjunction of
+function predicates in a Datalog dialect (paper Sec. IV), where each OWF or
+helping-function view becomes a predicate whose *input* arguments must be
+bound — by constants or by output variables of other predicates — before it
+can be evaluated (the limited-access-pattern restriction of Florescu et
+al. [7], annotated ``-``/``+`` in Sec. II).
+"""
+
+from repro.calculus.expressions import (
+    ArgExpr,
+    CalculusQuery,
+    Concat,
+    Const,
+    FilterPredicate,
+    FunctionPredicate,
+    HeadItem,
+    Var,
+)
+from repro.calculus.generator import generate_calculus
+
+__all__ = [
+    "ArgExpr",
+    "CalculusQuery",
+    "Concat",
+    "Const",
+    "FilterPredicate",
+    "FunctionPredicate",
+    "HeadItem",
+    "Var",
+    "generate_calculus",
+]

@@ -1,0 +1,145 @@
+"""Calculus expression and predicate types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.fdb.values import value_repr
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, named ``<alias>_<column>`` for readability."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant argument."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return value_repr(self.value)
+
+
+@dataclass(frozen=True)
+class Concat:
+    """String concatenation of sub-expressions (the dialect's only ``+``)."""
+
+    parts: tuple["ArgExpr", ...]
+
+    def __str__(self) -> str:
+        return "concat(" + ", ".join(str(part) for part in self.parts) + ")"
+
+
+ArgExpr = Union[Var, Const, Concat]
+
+
+def variables_of(expression: ArgExpr) -> set[Var]:
+    """All variables referenced by an argument expression."""
+    if isinstance(expression, Var):
+        return {expression}
+    if isinstance(expression, Concat):
+        found: set[Var] = set()
+        for part in expression.parts:
+            found |= variables_of(part)
+        return found
+    return set()
+
+
+@dataclass(frozen=True)
+class FunctionPredicate:
+    """A call predicate: ``f(in1-, in2-, out1+, out2+)``.
+
+    ``arguments`` are the input expressions (must become bound before the
+    predicate can execute); ``outputs`` are the variables its result stream
+    binds.  ``alias`` remembers the SQL table alias for diagnostics.
+    """
+
+    function: str  # registered function name (OWF or helping function)
+    alias: str
+    arguments: tuple[ArgExpr, ...]
+    outputs: tuple[Var, ...]
+
+    def input_variables(self) -> set[Var]:
+        found: set[Var] = set()
+        for argument in self.arguments:
+            found |= variables_of(argument)
+        return found
+
+    def __str__(self) -> str:
+        rendered_inputs = ", ".join(str(a) for a in self.arguments)
+        rendered_outputs = ", ".join(str(o) for o in self.outputs)
+        arrow = f" -> ({rendered_outputs})" if self.outputs else ""
+        return f"{self.function}({rendered_inputs}){arrow}"
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A comparison over already-bound values: ``left <op> right``."""
+
+    op: str  # '=', '<', '>', '<=', '>=', '<>'
+    left: ArgExpr
+    right: ArgExpr
+
+    def input_variables(self) -> set[Var]:
+        return variables_of(self.left) | variables_of(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+Predicate = Union[FunctionPredicate, FilterPredicate]
+
+
+@dataclass(frozen=True)
+class HeadItem:
+    """One projected result column: an output name and its expression.
+
+    Usually the expression is a plain :class:`Var`; selecting an *input*
+    column of a view (like Query2's ``gp.zip``) projects the expression
+    that binds it.
+    """
+
+    name: str
+    expression: ArgExpr
+
+    def __str__(self) -> str:
+        if isinstance(self.expression, Var) and self.expression.name == self.name:
+            return self.name
+        return f"{self.name}={self.expression}"
+
+
+@dataclass(frozen=True)
+class CalculusQuery:
+    """The full conjunction plus the head (projected result columns).
+
+    ``distinct``/``order_by``/``limit`` are post-processing directives
+    applied to the head columns (``order_by`` entries are (head column
+    name, ascending)); they always execute in the coordinator.
+    """
+
+    name: str
+    head: tuple[HeadItem, ...]
+    predicates: tuple[Predicate, ...]
+    distinct: bool = False
+    order_by: tuple[tuple[str, bool], ...] = ()
+    limit: int | None = None
+
+    def function_predicates(self) -> list[FunctionPredicate]:
+        return [p for p in self.predicates if isinstance(p, FunctionPredicate)]
+
+    def filter_predicates(self) -> list[FilterPredicate]:
+        return [p for p in self.predicates if isinstance(p, FilterPredicate)]
+
+    def to_text(self) -> str:
+        """Datalog-dialect rendering, in the style of the paper's Sec. IV."""
+        head = ", ".join(str(item) for item in self.head)
+        body = " AND\n    ".join(str(p) for p in self.predicates)
+        return f"{self.name}({head}) :-\n    {body}"

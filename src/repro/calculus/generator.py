@@ -1,0 +1,351 @@
+"""Calculus generator: SQL AST -> conjunctive calculus.
+
+The translation performs the binding analysis of the paper's Sec. II/IV:
+
+* every FROM item resolves to a registered function (OWF view or helping
+  function) whose view columns are its input parameters plus its result
+  columns;
+* an equality predicate whose one side is an *input column* binds that
+  input to the other side's expression (a constant, an output variable of
+  another view, or a concatenation of those) — this is what creates the
+  dependent-join structure ``f(x-, y+) AND g(y-, z+)``;
+* remaining predicates become filters over output variables;
+* every input parameter must end up bound, otherwise the query violates
+  the limited-access-pattern restriction and a :class:`BindingError` with
+  the offending parameter is raised.
+
+Column-name resolution prefers an exact-case match before falling back to
+a unique case-insensitive match — the paper's Query1 relies on this by
+using ``gl.placeName`` for TerraService's input and ``gl.placename`` for
+its output column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.expressions import (
+    ArgExpr,
+    CalculusQuery,
+    Concat,
+    Const,
+    FilterPredicate,
+    FunctionPredicate,
+    HeadItem,
+    Var,
+    variables_of,
+)
+from repro.fdb.functions import FunctionDef, FunctionRegistry
+from repro.fdb.types import AtomicType, BOOLEAN, INTEGER, REAL
+from repro.sql import ast
+from repro.util.errors import BindingError, CalculusError
+
+
+@dataclass
+class _ViewColumn:
+    """Resolution result: a column of one aliased view."""
+
+    alias: str
+    name: str
+    is_input: bool
+    atom: AtomicType
+
+
+@dataclass
+class _View:
+    alias: str
+    function: FunctionDef
+
+    def columns(self) -> list[_ViewColumn]:
+        inputs = [
+            _ViewColumn(self.alias, p.name, True, p.type)
+            for p in self.function.parameters
+        ]
+        outputs = [
+            _ViewColumn(self.alias, name, False, atom)
+            for name, atom in self.function.result.columns
+        ]
+        return inputs + outputs
+
+    def resolve_column(self, name: str) -> _ViewColumn:
+        columns = self.columns()
+        exact = [c for c in columns if c.name == name]
+        if len(exact) == 1:
+            return exact[0]
+        folded = [c for c in columns if c.name.lower() == name.lower()]
+        if len(folded) == 1:
+            return folded[0]
+        if not folded:
+            available = ", ".join(c.name for c in columns)
+            raise CalculusError(
+                f"view {self.function.name!r} (alias {self.alias!r}) has no "
+                f"column {name!r}; columns: {available}"
+            )
+        candidates = ", ".join(c.name for c in folded)
+        raise CalculusError(
+            f"column reference {self.alias}.{name} is ambiguous between: "
+            f"{candidates} (use the exact spelling)"
+        )
+
+
+class _Generator:
+    def __init__(self, query: ast.Query, registry: FunctionRegistry, name: str) -> None:
+        self.query = query
+        self.registry = registry
+        self.name = name
+        self.views: dict[str, _View] = {}
+        # (alias, param name) -> binding expression in terms of *columns*,
+        # i.e. possibly referencing other inputs before substitution.
+        self.bindings: dict[tuple[str, str], ArgExpr] = {}
+        self.filters: list[tuple[str, ast.Expression, ast.Expression]] = []
+        # Placeholder variable name -> (alias, input parameter) it stands for.
+        self._input_placeholders: dict[str, tuple[str, str]] = {}
+
+    # -- resolution ------------------------------------------------------------
+
+    def _build_views(self) -> None:
+        for table in self.query.tables:
+            if table.alias in self.views:
+                raise CalculusError(f"duplicate table alias {table.alias!r}")
+            function = self.registry.resolve(table.name)
+            self.views[table.alias] = _View(table.alias, function)
+            for parameter in function.parameters:
+                self._input_placeholders[f"{table.alias}_{parameter.name}"] = (
+                    table.alias,
+                    parameter.name,
+                )
+
+    def _resolve_ref(self, ref: ast.ColumnRef) -> _ViewColumn:
+        if ref.qualifier is not None:
+            view = self.views.get(ref.qualifier)
+            if view is None:
+                raise CalculusError(
+                    f"unknown table alias {ref.qualifier!r} in "
+                    f"{ref.qualifier}.{ref.name}"
+                )
+            return view.resolve_column(ref.name)
+        matches = []
+        for view in self.views.values():
+            try:
+                matches.append(view.resolve_column(ref.name))
+            except CalculusError:
+                continue
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise CalculusError(f"unknown column {ref.name!r}")
+        owners = ", ".join(f"{m.alias}.{m.name}" for m in matches)
+        raise CalculusError(
+            f"column {ref.name!r} is ambiguous across views: {owners}"
+        )
+
+    def _var_for(self, column: _ViewColumn) -> Var:
+        variable = Var(f"{column.alias}_{column.name}")
+        if column.is_input:
+            self._input_placeholders[variable.name] = (column.alias, column.name)
+        return variable
+
+    # -- expression conversion -----------------------------------------------------
+
+    def _to_arg_expr(self, expression: ast.Expression) -> ArgExpr:
+        """Convert an AST expression to a calculus expression.
+
+        Input columns are converted to *placeholder* variables named like
+        output variables; `_substitute` later replaces them with whatever
+        binds them.
+        """
+        if isinstance(expression, ast.Literal):
+            return Const(expression.value)
+        if isinstance(expression, ast.ColumnRef):
+            return self._var_for(self._resolve_ref(expression))
+        if isinstance(expression, ast.BinaryOp):
+            if expression.op != "+":
+                raise CalculusError(f"unsupported operator {expression.op!r}")
+            left = self._to_arg_expr(expression.left)
+            right = self._to_arg_expr(expression.right)
+            parts: list[ArgExpr] = []
+            for side in (left, right):
+                if isinstance(side, Concat):
+                    parts.extend(side.parts)
+                else:
+                    parts.append(side)
+            return Concat(tuple(parts))
+        raise CalculusError(f"unsupported expression {expression!r}")
+
+    # -- binding analysis ------------------------------------------------------------
+
+    def _classify_predicates(self) -> None:
+        for predicate in self.query.predicates:
+            if predicate.op != "=":
+                self.filters.append((predicate.op, predicate.left, predicate.right))
+                continue
+            left_col = self._column_of(predicate.left)
+            right_col = self._column_of(predicate.right)
+            bound = False
+            for this, other_expr in (
+                (left_col, predicate.right),
+                (right_col, predicate.left),
+            ):
+                if this is not None and this.is_input:
+                    key = (this.alias, this.name)
+                    if key not in self.bindings:
+                        self.bindings[key] = self._coerce(
+                            self._to_arg_expr(other_expr), this.atom
+                        )
+                        bound = True
+                        break
+            if not bound:
+                self.filters.append(("=", predicate.left, predicate.right))
+
+    def _column_of(self, expression: ast.Expression) -> _ViewColumn | None:
+        if isinstance(expression, ast.ColumnRef):
+            return self._resolve_ref(expression)
+        return None
+
+    def _coerce(self, expression: ArgExpr, atom: AtomicType) -> ArgExpr:
+        """Coerce constants to the input parameter's declared type.
+
+        The paper's Query1 binds the boolean ``imagePresence`` with the
+        string ``'true'``; WSMED accepts it, so we do too.
+        """
+        if not isinstance(expression, Const):
+            return expression
+        value = expression.value
+        if atom is BOOLEAN and value in ("true", "false"):
+            return Const(value == "true")
+        if atom is REAL and isinstance(value, int) and not isinstance(value, bool):
+            return Const(float(value))
+        if atom is INTEGER and isinstance(value, float) and value.is_integer():
+            return Const(int(value))
+        return expression
+
+    # -- substitution of input placeholders ----------------------------------------------
+
+    def _substitute(self, expression: ArgExpr, seen: frozenset) -> ArgExpr:
+        """Replace placeholder variables of input columns by their bindings."""
+        if isinstance(expression, Const):
+            return expression
+        if isinstance(expression, Concat):
+            return Concat(
+                tuple(self._substitute(part, seen) for part in expression.parts)
+            )
+        key = self._input_key_of(expression)
+        if key is None:
+            return expression  # an output variable: already final
+        if key in seen:
+            raise BindingError(
+                f"circular binding through input parameter {key[0]}.{key[1]}"
+            )
+        binding = self.bindings.get(key)
+        if binding is None:
+            view = self.views[key[0]]
+            raise BindingError(
+                f"input parameter {key[1]!r} of view {view.function.name!r} "
+                f"(alias {key[0]!r}) is not bound; bind it with an equality "
+                "predicate in WHERE"
+            )
+        return self._substitute(binding, seen | {key})
+
+    def _input_key_of(self, variable: Var) -> tuple[str, str] | None:
+        return self._input_placeholders.get(variable.name)
+
+    # -- assembly --------------------------------------------------------------------
+
+    def generate(self) -> CalculusQuery:
+        self._build_views()
+        self._classify_predicates()
+
+        predicates: list = []
+        for table in self.query.tables:
+            view = self.views[table.alias]
+            arguments = []
+            for parameter in view.function.parameters:
+                placeholder = Var(f"{table.alias}_{parameter.name}")
+                arguments.append(self._substitute(placeholder, frozenset()))
+            outputs = tuple(
+                Var(f"{table.alias}_{name}")
+                for name in view.function.result.column_names()
+            )
+            predicates.append(
+                FunctionPredicate(
+                    function=view.function.name,
+                    alias=table.alias,
+                    arguments=tuple(arguments),
+                    outputs=outputs,
+                )
+            )
+
+        for op, left, right in self.filters:
+            predicates.append(
+                FilterPredicate(
+                    op=op,
+                    left=self._substitute(self._to_arg_expr(left), frozenset()),
+                    right=self._substitute(self._to_arg_expr(right), frozenset()),
+                )
+            )
+
+        head = tuple(self._head_items())
+        return CalculusQuery(
+            name=self.name,
+            head=head,
+            predicates=tuple(predicates),
+            distinct=self.query.distinct,
+            order_by=tuple(self._order_by(head)),
+            limit=self.query.limit,
+        )
+
+    def _order_by(self, head: tuple[HeadItem, ...]) -> list[tuple[str, bool]]:
+        """Resolve ORDER BY references against the select list."""
+        resolved = []
+        for item in self.query.order_by:
+            reference = item.column
+            # A bare name matching a result column name directly.
+            if reference.qualifier is None:
+                by_name = [h for h in head if h.name.lower() == reference.name.lower()]
+                if len(by_name) == 1:
+                    resolved.append((by_name[0].name, item.ascending))
+                    continue
+            # Otherwise resolve to a variable and find the head item
+            # projecting exactly that variable.
+            variable = self._substitute(
+                self._to_arg_expr(reference), frozenset()
+            )
+            by_var = [h for h in head if h.expression == variable]
+            if len(by_var) != 1:
+                raise CalculusError(
+                    f"ORDER BY column {reference.to_sql()} must appear in "
+                    "the select list"
+                )
+            resolved.append((by_var[0].name, item.ascending))
+        return resolved
+
+    def _head_items(self) -> list[HeadItem]:
+        if isinstance(self.query.select, ast.Star):
+            items = []
+            for table in self.query.tables:
+                view = self.views[table.alias]
+                for name in view.function.result.column_names():
+                    items.append(
+                        HeadItem(name=name, expression=Var(f"{table.alias}_{name}"))
+                    )
+            return items
+        items = []
+        for index, select_item in enumerate(self.query.select):
+            expression = self._substitute(
+                self._to_arg_expr(select_item.expression), frozenset()
+            )
+            if select_item.alias:
+                name = select_item.alias
+            elif isinstance(select_item.expression, ast.ColumnRef):
+                name = select_item.expression.name
+            else:
+                name = f"column{index + 1}"
+            items.append(HeadItem(name=name, expression=expression))
+        return items
+
+
+def generate_calculus(
+    query: ast.Query, registry: FunctionRegistry, name: str = "Query"
+) -> CalculusQuery:
+    """Translate a parsed SQL query into conjunctive calculus."""
+    return _Generator(query, registry, name).generate()

@@ -1,0 +1,252 @@
+"""Command-line front end: one-shot queries and an interactive shell.
+
+One-shot::
+
+    python -m repro --query "SELECT gs.Name FROM GetAllStates gs LIMIT 3"
+    python -m repro --query "$SQL" --mode parallel --fanouts 5,4 --tree
+
+Interactive::
+
+    python -m repro
+    wsmed> \\mode adaptive
+    wsmed> SELECT gp.ToState, gp.zip FROM ... ;
+    wsmed> \\tree
+
+Meta commands: ``\\views``, ``\\owf NAME``, ``\\mode``, ``\\fanouts``,
+``\\profile``, ``\\explain SQL;``, ``\\tree``, ``\\summary``, ``\\rows N``,
+``\\help``, ``\\quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.algebra.plan import AdaptationParams
+from repro.util.errors import ReproError
+from repro.wsmed.results import QueryResult
+from repro.wsmed.system import WSMED
+
+
+def format_table(result: QueryResult, max_rows: int = 20) -> str:
+    """Align a result as a text table, truncated to ``max_rows``."""
+    header = list(result.columns)
+    shown = [tuple(str(value) for value in row) for row in result.rows[:max_rows]]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in shown)) if shown else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(name.ljust(widths[i]) for i, name in enumerate(header)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in shown:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows) - max_rows} more rows)")
+    lines.append(
+        f"({len(result.rows)} rows, {result.elapsed:.2f} model s, "
+        f"{result.total_calls} web service calls, {result.mode} mode)"
+    )
+    return "\n".join(lines)
+
+
+def _parse_fanouts(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.replace(" ", "").split(",") if part != ""]
+    except ValueError:
+        raise ReproError(f"invalid fanout vector {text!r}; expected e.g. 5,4") from None
+
+
+class Shell:
+    """The interactive session state."""
+
+    def __init__(
+        self,
+        wsmed: WSMED,
+        out: IO[str],
+        *,
+        mode: str = "central",
+        fanouts: list[int] | None = None,
+        retries: int = 0,
+    ) -> None:
+        self.wsmed = wsmed
+        self.out = out
+        self.mode = mode
+        self.fanouts = fanouts
+        self.adaptation = AdaptationParams()
+        self.retries = retries
+        self.max_rows = 20
+        self.last_result: QueryResult | None = None
+
+    def write(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_sql(self, sql: str) -> None:
+        kwargs = {}
+        if self.mode == "parallel":
+            kwargs["fanouts"] = self.fanouts
+        elif self.mode == "adaptive":
+            kwargs["adaptation"] = self.adaptation
+        result = self.wsmed.sql(sql, mode=self.mode, retries=self.retries, **kwargs)
+        self.last_result = result
+        self.write(format_table(result, self.max_rows))
+
+    def explain(self, sql: str) -> None:
+        kwargs = {}
+        if self.mode == "parallel":
+            kwargs["fanouts"] = self.fanouts
+        elif self.mode == "adaptive":
+            kwargs["adaptation"] = self.adaptation
+        self.write(self.wsmed.explain(sql, mode=self.mode, **kwargs))
+
+    # -- meta commands -----------------------------------------------------------
+
+    def meta(self, line: str) -> bool:
+        """Handle a ``\\...`` command; returns False to exit the shell."""
+        command, _, argument = line[1:].partition(" ")
+        command = command.strip().lower()
+        argument = argument.strip()
+        if command in ("quit", "q", "exit"):
+            return False
+        if command == "help":
+            self.write(HELP_TEXT)
+        elif command == "views":
+            self.write(self.wsmed.views())
+        elif command == "owf":
+            self.write(self.wsmed.owf_source(argument))
+        elif command == "mode":
+            if argument not in ("central", "parallel", "adaptive"):
+                raise ReproError("mode must be central, parallel or adaptive")
+            self.mode = argument
+            self.write(f"mode = {self.mode}")
+        elif command == "fanouts":
+            self.fanouts = _parse_fanouts(argument)
+            self.write(f"fanouts = {self.fanouts}")
+        elif command == "retries":
+            self.retries = int(argument)
+            self.write(f"retries = {self.retries}")
+        elif command == "rows":
+            self.max_rows = int(argument)
+            self.write(f"rows = {self.max_rows}")
+        elif command == "explain":
+            self.explain(argument.rstrip(";"))
+        elif command == "tree":
+            if self.last_result is None:
+                raise ReproError("no query has been executed yet")
+            self.write(self.last_result.process_tree())
+        elif command == "summary":
+            if self.last_result is None:
+                raise ReproError("no query has been executed yet")
+            self.write(self.last_result.summary())
+        elif command == "util":
+            if self.last_result is None:
+                raise ReproError("no query has been executed yet")
+            self.write(self.last_result.utilization())
+        elif command == "gantt":
+            if self.last_result is None:
+                raise ReproError("no query has been executed yet")
+            from repro.parallel.visualize import render_gantt
+
+            self.write(render_gantt(self.last_result.trace))
+        else:
+            raise ReproError(f"unknown command \\{command}; try \\help")
+        return True
+
+    # -- the loop ------------------------------------------------------------------
+
+    def repl(self, source: IO[str]) -> None:
+        buffer: list[str] = []
+        self.write("WSMED shell — SQL terminated by ';', \\help for commands")
+        while True:
+            prompt = "wsmed> " if not buffer else "  ...> "
+            print(prompt, end="", file=self.out, flush=True)
+            line = source.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if not buffer and stripped.startswith("\\"):
+                try:
+                    if not self.meta(stripped):
+                        break
+                except (ReproError, ValueError) as error:
+                    self.write(f"error: {error}")
+                continue
+            buffer.append(stripped)
+            if stripped.endswith(";"):
+                sql = " ".join(buffer).rstrip(";")
+                buffer = []
+                try:
+                    self.run_sql(sql)
+                except ReproError as error:
+                    self.write(f"error: {error}")
+
+
+HELP_TEXT = """\
+meta commands:
+  \\views            list all generated views
+  \\owf NAME         show the generated OWF source (paper Fig 2 style)
+  \\mode M           central | parallel | adaptive
+  \\fanouts 5,4      fanout vector for parallel mode
+  \\retries N        retry retriable service faults N times per call
+  \\rows N           max rows displayed
+  \\explain SQL;     show calculus, plan and cost estimate
+  \\tree             process tree of the last execution
+  \\summary          statistics of the last execution
+  \\util             busiest processes of the last execution
+  \\gantt            service-call timeline of the last execution
+  \\quit             leave"""
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="WSMED: SQL over (simulated) data providing web services",
+    )
+    parser.add_argument("--query", help="run one query and exit")
+    parser.add_argument(
+        "--mode",
+        default="central",
+        choices=("central", "parallel", "adaptive"),
+    )
+    parser.add_argument("--fanouts", help="fanout vector for parallel mode, e.g. 5,4")
+    parser.add_argument(
+        "--profile", default="paper", choices=("paper", "fast", "uncontended")
+    )
+    parser.add_argument("--retries", type=int, default=0)
+    parser.add_argument("--explain", action="store_true", help="explain, don't run")
+    parser.add_argument("--tree", action="store_true", help="print the process tree")
+    parser.add_argument("--summary", action="store_true", help="print statistics")
+    return parser
+
+
+def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
+    out = out or sys.stdout
+    arguments = build_argument_parser().parse_args(argv)
+    wsmed = WSMED(profile=arguments.profile)
+    wsmed.import_all()
+    fanouts = _parse_fanouts(arguments.fanouts) if arguments.fanouts else None
+    shell = Shell(
+        wsmed, out, mode=arguments.mode, fanouts=fanouts, retries=arguments.retries
+    )
+    if arguments.query is None:
+        shell.repl(sys.stdin)
+        return 0
+    try:
+        if arguments.explain:
+            shell.explain(arguments.query)
+        else:
+            shell.run_sql(arguments.query)
+            if arguments.tree:
+                print(shell.last_result.process_tree(), file=out)
+            if arguments.summary:
+                print(shell.last_result.summary(), file=out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    return 0

@@ -1,0 +1,93 @@
+"""The WSMED local database schema.
+
+When a WSDL document is imported, its metadata is stored in these
+main-memory tables (Sec. III: "The web service metadata in a WSDL document
+is first imported and stored in the WSMED local database").  The OWF
+generator and the planner read the catalog rather than re-parsing WSDL.
+"""
+
+from __future__ import annotations
+
+from repro.fdb.storage import Table
+from repro.fdb.types import CHARSTRING, INTEGER, TupleType
+
+
+def _table(name: str, columns: list[tuple[str, object]]) -> Table:
+    return Table(name, TupleType(tuple(columns)))  # type: ignore[arg-type]
+
+
+class Catalog:
+    """Metadata tables: services, operations, parameters, result columns."""
+
+    def __init__(self) -> None:
+        self.services = _table(
+            "ws_services",
+            [("uri", CHARSTRING), ("service", CHARSTRING), ("port", CHARSTRING)],
+        )
+        self.operations = _table(
+            "ws_operations",
+            [
+                ("uri", CHARSTRING),
+                ("service", CHARSTRING),
+                ("operation", CHARSTRING),
+                ("owf", CHARSTRING),
+            ],
+        )
+        self.parameters = _table(
+            "ws_parameters",
+            [
+                ("owf", CHARSTRING),
+                ("position", INTEGER),
+                ("name", CHARSTRING),
+                ("type", CHARSTRING),
+            ],
+        )
+        self.result_columns = _table(
+            "ws_result_columns",
+            [
+                ("owf", CHARSTRING),
+                ("position", INTEGER),
+                ("name", CHARSTRING),
+                ("type", CHARSTRING),
+            ],
+        )
+        self.operations.create_index("owf")
+        self.parameters.create_index("owf")
+        self.result_columns.create_index("owf")
+
+    def record_service(self, uri: str, service: str, port: str) -> None:
+        self.services.insert((uri, service, port))
+
+    def record_operation(
+        self,
+        uri: str,
+        service: str,
+        operation: str,
+        owf: str,
+        parameters: list[tuple[str, str]],
+        result_columns: list[tuple[str, str]],
+    ) -> None:
+        self.operations.insert((uri, service, operation, owf))
+        for position, (name, type_name) in enumerate(parameters):
+            self.parameters.insert((owf, position, name, type_name))
+        for position, (name, type_name) in enumerate(result_columns):
+            self.result_columns.insert((owf, position, name, type_name))
+
+    def owf_names(self) -> list[str]:
+        return [row[3] for row in self.operations.scan()]
+
+    def operation_of(self, owf: str) -> tuple[str, str, str]:
+        """Return (wsdl uri, service name, operation name) for an OWF."""
+        rows = self.operations.lookup("owf", owf)
+        if not rows:
+            raise KeyError(f"no imported operation for OWF {owf!r}")
+        uri, service, operation, _ = rows[0]
+        return uri, service, operation
+
+    def parameters_of(self, owf: str) -> list[tuple[str, str]]:
+        rows = sorted(self.parameters.lookup("owf", owf), key=lambda r: r[1])
+        return [(name, type_name) for _, _, name, type_name in rows]
+
+    def result_columns_of(self, owf: str) -> list[tuple[str, str]]:
+        rows = sorted(self.result_columns.lookup("owf", owf), key=lambda r: r[1])
+        return [(name, type_name) for _, _, name, type_name in rows]

@@ -1,0 +1,134 @@
+"""Function registry of the functional DBMS.
+
+Everything callable from a query lives here: generated operation wrapper
+functions (OWFs), helping functions such as the paper's ``getzipcode``, and
+built-ins such as ``concat``.  Each function carries a typed signature with
+a *binding pattern*: which parameters must be bound (``-``, inputs) and
+which are produced (``+``, outputs) — the information the planner uses to
+order dependent calls (Sec. II).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.fdb.types import AtomicType, TupleType
+from repro.util.errors import ReproError
+
+
+class FunctionError(ReproError):
+    """Raised on registry misuse: duplicate names, unknown lookups."""
+
+
+class FunctionKind(enum.Enum):
+    """How a function is evaluated."""
+
+    BUILTIN = "builtin"  # pure Python, zero cost in the cost model
+    HELPING = "helping"  # user-defined local function, e.g. getzipcode
+    OWF = "owf"  # wraps a web-service operation: expensive, remote
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One input parameter: a name and its atomic type."""
+
+    name: str
+    type: AtomicType
+
+    def __str__(self) -> str:
+        return f"{self.type} {self.name}"
+
+
+@dataclass
+class FunctionDef:
+    """A registered function.
+
+    ``implementation`` semantics by kind:
+
+    * BUILTIN / HELPING — a plain callable ``(*args) -> value`` or, when
+      ``returns_stream``, ``(*args) -> iterable of rows``.
+    * OWF — an :class:`~repro.wsmed.owf.OperationWrapper`; the plan
+      interpreter invokes it through the service broker.
+    """
+
+    name: str
+    kind: FunctionKind
+    parameters: tuple[Parameter, ...]
+    result: TupleType
+    implementation: Any
+    returns_stream: bool = True
+    documentation: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def signature(self) -> str:
+        """Signature with binding-pattern annotations, paper style."""
+        inputs = ", ".join(f"{p.name}-" for p in self.parameters)
+        outputs = ", ".join(f"{name}+" for name in self.result.column_names())
+        return f"{self.name}({inputs}{', ' if inputs and outputs else ''}{outputs})"
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        return f"{self.name}({params}) -> Bag of {self.result}"
+
+
+class FunctionRegistry:
+    """Name -> :class:`FunctionDef` map with case-insensitive lookup.
+
+    SQL identifiers are case-insensitive, so the registry resolves
+    ``getallstates`` and ``GetAllStates`` to the same function while
+    preserving the declared spelling for display.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FunctionDef] = {}
+
+    def register(self, function: FunctionDef) -> None:
+        key = function.name.lower()
+        if key in self._functions:
+            raise FunctionError(f"function {function.name!r} is already registered")
+        self._functions[key] = function
+
+    def replace(self, function: FunctionDef) -> None:
+        """Register, overwriting any previous definition (re-import of a WSDL)."""
+        self._functions[function.name.lower()] = function
+
+    def resolve(self, name: str) -> FunctionDef:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(f.name for f in self._functions.values()))
+            raise FunctionError(
+                f"unknown function {name!r}; registered: {known or '<none>'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def owfs(self) -> list[FunctionDef]:
+        return [f for f in self._functions.values() if f.kind is FunctionKind.OWF]
+
+    def all(self) -> list[FunctionDef]:
+        return list(self._functions.values())
+
+
+def helping_function(
+    name: str,
+    parameters: list[tuple[str, AtomicType]],
+    result: TupleType,
+    implementation: Callable[..., Any],
+    documentation: str = "",
+) -> FunctionDef:
+    """Convenience constructor for user-defined helping functions."""
+    return FunctionDef(
+        name=name,
+        kind=FunctionKind.HELPING,
+        parameters=tuple(Parameter(n, t) for n, t in parameters),
+        result=result,
+        implementation=implementation,
+        documentation=documentation,
+    )

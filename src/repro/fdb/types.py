@@ -1,0 +1,144 @@
+"""Type descriptors for function signatures and WSDL result schemas.
+
+The OWF generator walks a :class:`RecordType`/:class:`SequenceType` tree
+describing a web-service result (derived from the WSDL ``types`` section)
+to produce a flattening program, exactly as WSMED generates Fig 2 from the
+``GetAllStates`` WSDL definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fdb.values import Record, Sequence
+from repro.util.errors import ReproError
+
+
+class TypeError_(ReproError):
+    """Raised on type mismatches; trailing underscore avoids the builtin."""
+
+
+@dataclass(frozen=True)
+class AtomicType:
+    """An atomic database type: Charstring, Real, Integer or Boolean."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def accepts(self, value: Any) -> bool:
+        if self.name == "Charstring":
+            return isinstance(value, str)
+        if self.name == "Real":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.name == "Integer":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.name == "Boolean":
+            return isinstance(value, bool)
+        raise TypeError_(f"unknown atomic type {self.name!r}")
+
+
+CHARSTRING = AtomicType("Charstring")
+REAL = AtomicType("Real")
+INTEGER = AtomicType("Integer")
+BOOLEAN = AtomicType("Boolean")
+
+_ATOMS = {t.name: t for t in (CHARSTRING, REAL, INTEGER, BOOLEAN)}
+
+
+def atomic(name: str) -> AtomicType:
+    """Look up an atomic type by name (case-insensitive)."""
+    try:
+        return _ATOMS[name.capitalize() if name.islower() else name]
+    except KeyError:
+        raise TypeError_(f"unknown atomic type {name!r}") from None
+
+
+@dataclass(frozen=True)
+class RecordType:
+    """A record with named, typed fields (order preserved for display)."""
+
+    fields: tuple[tuple[str, "ValueType"], ...]
+
+    def field_type(self, name: str) -> "ValueType":
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise TypeError_(f"record type has no field {name!r}")
+
+    def field_names(self) -> list[str]:
+        return [name for name, _ in self.fields]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {ftype}" for name, ftype in self.fields)
+        return f"Record<{inner}>"
+
+
+@dataclass(frozen=True)
+class SequenceType:
+    """An ordered collection of one element type."""
+
+    element: "ValueType"
+
+    def __str__(self) -> str:
+        return f"Sequence of {self.element}"
+
+
+@dataclass(frozen=True)
+class BagType:
+    """An unordered collection of one element type (OWF results)."""
+
+    element: "ValueType"
+
+    def __str__(self) -> str:
+        return f"Bag of {self.element}"
+
+
+@dataclass(frozen=True)
+class TupleType:
+    """A flat tuple of named atomic columns — the row type of OWF views."""
+
+    columns: tuple[tuple[str, AtomicType], ...] = field(default=())
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def column_type(self, name: str) -> AtomicType:
+        for cname, ctype in self.columns:
+            if cname == name:
+                return ctype
+        raise TypeError_(f"tuple type has no column {name!r}")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{atom} {name}" for name, atom in self.columns)
+        return f"<{inner}>"
+
+
+ValueType = AtomicType | RecordType | SequenceType | BagType | TupleType
+
+
+def infer_type(value: Any) -> ValueType:
+    """Infer the database type of a runtime value.
+
+    Collections infer their element type from the first element; empty
+    collections infer ``Charstring`` elements, which is the least surprising
+    default for web-service payloads.
+    """
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, str):
+        return CHARSTRING
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, Record):
+        return RecordType(
+            tuple((name, infer_type(item)) for name, item in value.items())
+        )
+    if isinstance(value, Sequence):
+        first = next(iter(value), None)
+        return SequenceType(CHARSTRING if first is None else infer_type(first))
+    raise TypeError_(f"cannot infer database type of {value!r}")

@@ -1,0 +1,174 @@
+"""``AFF_APPLYP`` — Adaptive First Finished Apply in Parallel (Sec. V.A).
+
+Replaces the explicit fanout of ``FF_APPLYP`` with local run-time
+adaptation in every non-leaf query process:
+
+1. *init stage* — start with a binary tree (fanout ``init_fanout`` = 2);
+2. a *monitoring cycle* completes when the process has received as many
+   end-of-call messages as it has children;
+3. after the first cycle, the *add stage* starts ``p`` new children;
+4. per cycle ``i`` the operator records the average time ``t_i`` to
+   produce an incoming tuple from the children; a decrease of more than
+   ``threshold`` (paper: 25 %) re-runs the add stage, an increase either
+   stops adaptation or runs a *drop stage* removing one child and its
+   subtree, and a small change stops adaptation.
+
+All decisions are recorded in the shared trace (kinds ``init_stage``,
+``cycle``, ``add_stage``, ``drop_stage``, ``adapt_stop``) so tests and the
+Figs 18-20 bench can replay the dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import AdaptationParams, PlanFunction
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.ff_applyp import ChildPool
+from repro.parallel.messages import EndOfCall, ResultTuple, Shutdown
+
+
+class AFFPool(ChildPool):
+    """The adaptive pool behind one ``AFF_APPLYP`` node."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        plan_function: PlanFunction,
+        costs: ProcessCosts,
+        params: AdaptationParams,
+        *,
+        max_stages: int = 50,
+    ) -> None:
+        super().__init__(ctx, plan_function, costs)
+        self.params = params
+        self._max_stages = max_stages
+        self._stages = 0
+        self._adapting = True
+        self._had_first_cycle = False
+        self._previous_time_per_tuple: float | None = None
+        self._cycle_started_at = 0.0
+        self._eoc_in_cycle = 0
+        self._results_in_cycle = 0
+
+    # -- lifecycle hooks --------------------------------------------------------
+
+    async def on_first_use(self) -> None:
+        await self.spawn_children(self.params.init_fanout)
+        self._cycle_started_at = self.ctx.kernel.now()
+        self.ctx.trace.record(
+            self._cycle_started_at,
+            "init_stage",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            children=len(self.children),
+        )
+
+    def on_result(self, message: ResultTuple) -> None:
+        self._results_in_cycle += 1
+
+    async def on_end_of_call(self, message: EndOfCall) -> None:
+        self._eoc_in_cycle += 1
+        if self._eoc_in_cycle < len(self.children):
+            return
+        await self._finish_cycle()
+
+    # -- monitoring cycles --------------------------------------------------------
+
+    async def _finish_cycle(self) -> None:
+        kernel = self.ctx.kernel
+        now = kernel.now()
+        duration = now - self._cycle_started_at
+        tuples = self._results_in_cycle
+        time_per_tuple = duration / tuples if tuples else math.inf
+        self.ctx.trace.record(
+            now,
+            "cycle",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            children=len(self.children),
+            tuples=tuples,
+            time_per_tuple=time_per_tuple,
+        )
+        self._eoc_in_cycle = 0
+        self._results_in_cycle = 0
+        self._cycle_started_at = now
+
+        if not self._adapting:
+            return
+        if not self._had_first_cycle:
+            # Step 2: after the first monitoring cycle, add p children.
+            self._had_first_cycle = True
+            self._previous_time_per_tuple = time_per_tuple
+            await self._add_stage()
+            return
+
+        previous = self._previous_time_per_tuple
+        self._previous_time_per_tuple = time_per_tuple
+        if previous is None or not math.isfinite(previous):
+            return
+        if time_per_tuple < previous * (1.0 - self.params.threshold):
+            await self._add_stage()
+        elif time_per_tuple > previous:
+            if self.params.drop_stage:
+                await self._drop_stage()
+            else:
+                self._stop("time per tuple increased")
+        else:
+            self._stop("time per tuple stabilized")
+
+    def _stop(self, reason: str) -> None:
+        self._adapting = False
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "adapt_stop",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            children=len(self.children),
+            reason=reason,
+        )
+
+    async def _add_stage(self) -> None:
+        self._stages += 1
+        if self._stages > self._max_stages:
+            self._stop("stage limit reached")
+            return
+        room = self.params.max_fanout - len(self.children)
+        to_add = min(self.params.p, room)
+        if to_add <= 0:
+            self._stop("maximum fanout reached")
+            return
+        await self.spawn_children(to_add, adaptive=True)
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "add_stage",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            added=to_add,
+            children=len(self.children),
+        )
+
+    async def _drop_stage(self) -> None:
+        self._stages += 1
+        if self._stages > self._max_stages:
+            self._stop("stage limit reached")
+            return
+        if len(self.children) <= self.params.init_fanout:
+            self._stop("cannot drop below the initial tree")
+            return
+        victim = self.children[-1]
+        self.children.remove(victim)
+        self._by_name.pop(victim.endpoints.name, None)
+        self.total_dropped += 1
+        # The child finishes any in-flight call (its downlink is FIFO),
+        # then reads the shutdown and tears down its own subtree.
+        victim.endpoints.downlink.send(Shutdown("dropped by adaptation"))
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "drop_stage",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            dropped=victim.endpoints.name,
+            children=len(self.children),
+        )

@@ -1,0 +1,65 @@
+"""Wires the parallel operators into the plan interpreter.
+
+The executor installs a ``parallel_handler`` on the execution context:
+when the interpreter reaches an ``FF_APPLYP``/``AFF_APPLYP`` node it asks
+the handler for the node's (per-process, persistent) pool and streams the
+node's input through it.  The executor also guarantees teardown: after the
+coordinator's plan finishes — successfully or not — every pool in the tree
+receives shutdown and the executor waits for all query processes to exit.
+"""
+
+from __future__ import annotations
+
+from typing import AsyncIterator
+
+from repro.algebra.interpreter import ExecutionContext, iterate_plan
+from repro.algebra.plan import AFFApplyNode, FFApplyNode, PlanNode
+from repro.parallel.aff_applyp import AFFPool
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.ff_applyp import ChildPool, FFPool
+from repro.util.errors import PlanError
+
+
+class ParallelExecutor:
+    """Runs (possibly parallel) plans under one execution context."""
+
+    def __init__(self, ctx: ExecutionContext, costs: ProcessCosts | None = None) -> None:
+        self.ctx = ctx
+        self.costs = costs or ProcessCosts()
+        ctx.parallel_handler = self._handle
+
+    def _pool_for(self, node: PlanNode, ctx: ExecutionContext) -> ChildPool:
+        pool = ctx.pools.get(id(node))
+        if pool is not None:
+            return pool
+        if isinstance(node, FFApplyNode):
+            pool = FFPool(ctx, node.plan_function, self.costs, node.fanout)
+        elif isinstance(node, AFFApplyNode):
+            pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
+        else:
+            raise PlanError(f"not a parallel operator: {node.label()}")
+        ctx.pools[id(node)] = pool
+        return pool
+
+    async def _handle(
+        self, node: PlanNode, source: AsyncIterator[tuple], ctx: ExecutionContext
+    ) -> AsyncIterator[tuple]:
+        pool = self._pool_for(node, ctx)
+        async for row in pool.run(source):
+            yield row
+
+    async def execute(self, plan: PlanNode) -> list[tuple]:
+        """Run ``plan`` to completion in the coordinator and return rows.
+
+        Pool shutdown runs in a ``finally`` so that failed queries do not
+        leak query processes into the kernel (which would deadlock the
+        simulated run loop).
+        """
+        rows: list[tuple] = []
+        try:
+            async for row in iterate_plan(plan, self.ctx):
+                rows.append(row)
+        finally:
+            for pool in list(self.ctx.pools.values()):
+                await pool.close()
+        return rows

@@ -1,0 +1,286 @@
+"""``FF_APPLYP`` — First Finished Apply in Parallel (Sec. III.A).
+
+The operator keeps a persistent pool of child query processes.  On first
+use it spawns ``fanout`` children and ships each the plan function; then,
+per invocation, it streams parameter tuples to idle children (one tuple
+per child in the first round, then one new tuple per end-of-call — the
+first-finished policy) and emits result rows the moment any child delivers
+them.
+
+The input stream is drained by a pump task into the operator's inbox, so
+one event loop serves input arrival, results, and end-of-call messages
+without needing a select primitive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import PlanFunction
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.messages import (
+    ChildError,
+    EndOfCall,
+    InputAvailable,
+    InputExhausted,
+    InputFailed,
+    ParamTuple,
+    ReadyToReceive,
+    ResultTuple,
+    ShipPlanFunction,
+    Shutdown,
+)
+from repro.parallel.process import ChildEndpoints, child_main
+from repro.runtime.base import ProcessHandle
+from repro.util.errors import PlanError, ReproError
+
+
+@dataclass
+class _Child:
+    endpoints: ChildEndpoints
+    handle: ProcessHandle
+    outstanding: int = 0  # parameter tuples shipped but not end-of-called
+    added_by_adaptation: bool = False
+
+
+class ChildPool:
+    """Pool of child query processes below one FF/AFF operator instance."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        plan_function: PlanFunction,
+        costs: ProcessCosts,
+    ) -> None:
+        self.ctx = ctx
+        self.plan_function = plan_function
+        self._plan_function_dict = plan_function.to_dict()
+        self.costs = costs
+        self.inbox = ctx.kernel.channel(
+            f"{ctx.process_name}/{plan_function.name}/inbox",
+            latency=costs.message_latency,
+        )
+        self.children: list[_Child] = []
+        self._idle: deque[_Child] = deque()
+        self._by_name: dict[str, _Child] = {}
+        self._pending: deque[tuple] = deque()
+        self._seq = 0
+        self._rotation = 0  # next child index under round-robin dispatch
+        self._closed = False
+        self.total_spawned = 0
+        self.total_dropped = 0
+
+    # -- child lifecycle ---------------------------------------------------------
+
+    async def spawn_children(self, count: int, *, adaptive: bool = False) -> None:
+        """Start ``count`` new children and ship them the plan function.
+
+        The parent pays the per-child shipping cost serially; children
+        start up and install concurrently ("ships in parallel").
+        """
+        kernel = self.ctx.kernel
+        for _ in range(count):
+            name = self.ctx.next_process_name()
+            endpoints = ChildEndpoints(
+                name=name,
+                downlink=kernel.channel(
+                    f"{name}/downlink", latency=self.costs.message_latency
+                ),
+                uplink=self.inbox,
+            )
+            child_ctx = self.ctx.for_process(name)
+
+            async def close_nested(child_ctx=child_ctx):
+                for pool in list(child_ctx.pools.values()):
+                    await pool.close()
+
+            handle = kernel.spawn(
+                child_main(child_ctx, self.costs, endpoints, on_exit=close_nested),
+                name=name,
+            )
+            child = _Child(endpoints=endpoints, handle=handle, added_by_adaptation=adaptive)
+            self.children.append(child)
+            self._by_name[name] = child
+            self.total_spawned += 1
+            await kernel.sleep(self.costs.ship_function)
+            endpoints.downlink.send(ShipPlanFunction(self._plan_function_dict))
+            self.ctx.trace.record(
+                kernel.now(),
+                "spawn",
+                parent=self.ctx.process_name,
+                process=name,
+                plan_function=self.plan_function.name,
+                adaptive=adaptive,
+            )
+            self._make_idle(child)
+
+    def _make_idle(self, child: _Child) -> None:
+        """End-of-call bookkeeping: the child can take more work."""
+        child.outstanding = max(0, child.outstanding - 1)
+        if self.costs.prefetch > 1:
+            if self._pending and child.outstanding < self.costs.prefetch:
+                self._dispatch_now(child, self._pending.popleft())
+            return
+        if self._pending:
+            self._dispatch_now(child, self._pending.popleft())
+        else:
+            self._idle.append(child)
+
+    def _dispatch_now(self, child: _Child, row: tuple) -> None:
+        self._seq += 1
+        child.outstanding += 1
+        child.endpoints.downlink.send(ParamTuple(self._seq, row))
+
+    async def _dispatch(self, row: tuple) -> None:
+        """Ship one parameter tuple (parent pays the shipping cost)."""
+        await self.ctx.kernel.sleep(self.costs.ship_param)
+        if self.costs.dispatch == "round_robin":
+            # Ablation baseline: deal tuples out in fixed rotation without
+            # waiting for end-of-call; a slow child accumulates a queue.
+            child = self.children[self._rotation % len(self.children)]
+            self._rotation += 1
+            self._seq += 1
+            child.outstanding += 1
+            child.endpoints.downlink.send(ParamTuple(self._seq, row))
+            return
+        if self.costs.prefetch > 1:
+            # Pipelined dispatch: the least-loaded child with room takes
+            # the tuple (first-finished generalized to depth > 1).
+            candidates = [
+                child
+                for child in self.children
+                if child.outstanding < self.costs.prefetch
+            ]
+            if candidates:
+                self._dispatch_now(
+                    min(candidates, key=lambda child: child.outstanding), row
+                )
+            else:
+                self._pending.append(row)
+            return
+        while self._idle:
+            child = self._idle.popleft()
+            if child not in self.children:
+                continue  # dropped while idle
+            self._dispatch_now(child, row)
+            return
+        self._pending.append(row)
+
+    # -- the operator loop ----------------------------------------------------------
+
+    async def run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
+        """One invocation of the operator over one parameter stream."""
+        if self._closed:
+            raise PlanError("operator pool used after shutdown")
+        if not self.children:
+            await self.on_first_use()
+
+        kernel = self.ctx.kernel
+        pump = kernel.spawn(
+            self._pump(source), name=f"{self.ctx.process_name}-pump"
+        )
+        in_flight = 0
+        input_done = False
+        first_round_announced = False
+        # WSQ/DSQ-style ablation: materialize the parameter stream before
+        # dispatching instead of streaming (costs.barrier).
+        barrier_buffer: list[tuple] | None = [] if self.costs.barrier else None
+        try:
+            while True:
+                if input_done and in_flight == 0 and not self._pending:
+                    break
+                message = await self.inbox.recv()
+                if isinstance(message, InputAvailable):
+                    in_flight += 1
+                    if barrier_buffer is not None:
+                        barrier_buffer.append(message.row)
+                    else:
+                        await self._dispatch(message.row)
+                elif isinstance(message, InputExhausted):
+                    input_done = True
+                    if barrier_buffer is not None:
+                        for row in barrier_buffer:
+                            await self._dispatch(row)
+                        barrier_buffer = None
+                    if not first_round_announced:
+                        first_round_announced = True
+                        self._broadcast_ready()
+                elif isinstance(message, InputFailed):
+                    raise ReproError(message.message)
+                elif isinstance(message, ResultTuple):
+                    self.on_result(message)
+                    yield message.row
+                elif isinstance(message, EndOfCall):
+                    in_flight -= 1
+                    child = self._by_name.get(message.child)
+                    if child is not None and child in self.children:
+                        self._make_idle(child)
+                    await self.on_end_of_call(message)
+                elif isinstance(message, ChildError):
+                    raise ReproError(
+                        f"query process {message.child} failed: {message.message}"
+                    )
+                if not first_round_announced and in_flight >= len(self.children):
+                    first_round_announced = True
+                    self._broadcast_ready()
+        finally:
+            pump.cancel()
+
+    async def _pump(self, source: AsyncIterator[tuple]) -> None:
+        try:
+            async for row in source:
+                self.inbox.send(InputAvailable(row))
+        except ReproError as error:
+            self.inbox.send(InputFailed(str(error)))
+            return
+        self.inbox.send(InputExhausted())
+
+    def _broadcast_ready(self) -> None:
+        for child in self.children:
+            child.endpoints.downlink.send(ReadyToReceive())
+
+    # -- hooks overridden by the adaptive pool -----------------------------------------
+
+    async def on_first_use(self) -> None:
+        raise PlanError("ChildPool.on_first_use must be provided by a subclass")
+
+    def on_result(self, message: ResultTuple) -> None:
+        """Monitoring hook; the plain FF pool does nothing here."""
+
+    async def on_end_of_call(self, message: EndOfCall) -> None:
+        """Adaptation hook; the plain FF pool does nothing here."""
+
+    # -- shutdown ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Send shutdown to all children and wait for the subtree to exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for child in self.children:
+            child.endpoints.downlink.send(Shutdown())
+        for child in self.children:
+            await child.handle.join()
+        self.children.clear()
+        self._idle.clear()
+        self._by_name.clear()
+
+
+class FFPool(ChildPool):
+    """The non-adaptive pool: a fixed, manually chosen fanout."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        plan_function: PlanFunction,
+        costs: ProcessCosts,
+        fanout: int,
+    ) -> None:
+        super().__init__(ctx, plan_function, costs)
+        self.fanout = fanout
+
+    async def on_first_use(self) -> None:
+        await self.spawn_children(self.fanout)

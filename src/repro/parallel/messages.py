@@ -1,0 +1,72 @@
+"""The inter-process message protocol of ``FF_APPLYP`` (Sec. III.A).
+
+Downlink (parent -> child):
+    :class:`ShipPlanFunction`, :class:`ParamTuple`, :class:`Shutdown`.
+Uplink (child -> parent, one shared inbox per operator instance):
+    :class:`ResultTuple`, :class:`EndOfCall`, :class:`ChildError`.
+Internal to the parent's event loop (from its input pump task):
+    :class:`InputAvailable`, :class:`InputExhausted`, :class:`InputFailed`.
+
+Plan functions travel as serialized dicts — the receiving process
+re-hydrates its own copy, which is what makes the code shipping real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ShipPlanFunction:
+    plan_function: dict  # serialized PlanFunction
+
+
+@dataclass(frozen=True)
+class ParamTuple:
+    seq: int
+    row: tuple
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    reason: str = "query finished"
+
+
+@dataclass(frozen=True)
+class ReadyToReceive:
+    """Broadcast after the first round of parameter tuples (Sec. III.A)."""
+
+
+@dataclass(frozen=True)
+class ResultTuple:
+    child: str
+    row: tuple
+
+
+@dataclass(frozen=True)
+class EndOfCall:
+    child: str
+    seq: int
+    rows: int  # tuples the call produced (monitoring input for AFF)
+
+
+@dataclass(frozen=True)
+class ChildError:
+    child: str
+    message: str
+
+
+@dataclass(frozen=True)
+class InputAvailable:
+    row: tuple
+
+
+@dataclass(frozen=True)
+class InputExhausted:
+    pass
+
+
+@dataclass(frozen=True)
+class InputFailed:
+    message: str

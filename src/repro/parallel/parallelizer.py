@@ -1,0 +1,360 @@
+"""The parallelizer and plan rewriter (paper Fig 5, Sec. IV).
+
+Takes a central plan and:
+
+1. identifies the parallelizable OWF applies — those whose arguments are
+   fed from the parameter stream (OWFs with no input parameters, like
+   ``GetAllStates``, are not considered);
+2. splits each dependent chain into *sections*, one per parallelizable
+   OWF, the bottom section staying in the coordinator;
+3. generates a *plan function* per section (PF1/PF2 of Figs 7/8,
+   PF3/PF4 of Figs 11/12) whose body re-roots the section's operators on
+   a parameter-tuple leaf;
+4. rewrites the query into nested ``FF_APPLYP``/``AFF_APPLYP`` operators:
+   the plan function shipped to level *k* contains the operator that
+   ships level *k+1*'s plan function, which is how every process in the
+   tree of Fig 4 comes to run its own parallel operator.
+
+A fanout of ``0`` at a split point *fuses* that section into the previous
+plan function — the paper's flat tree (Fig 14), where both OWFs execute in
+the same level-one plan function.
+
+Bushy plans (the paper's Sec. VII future work, implemented here): each
+branch of a :class:`~repro.algebra.plan.JoinNode` is parallelized
+independently and the join — like ``DISTINCT``/``ORDER BY``/``LIMIT`` and
+any other blocking operator — stays in the coordinator.  With manual
+fanouts, the vector covers all branches' sections in left-to-right plan
+order; ``AFF_APPLYP`` needs no vector at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import columns_of
+from repro.algebra.plan import (
+    AdaptationParams,
+    AFFApplyNode,
+    ApplyNode,
+    DistinctNode,
+    FFApplyNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    MapNode,
+    ParamNode,
+    PlanFunction,
+    PlanNode,
+    ProjectNode,
+    SingletonNode,
+    SortNode,
+)
+from repro.fdb.functions import FunctionKind, FunctionRegistry
+from repro.util.errors import PlanError
+
+# Blocking / global operators: always execute in the coordinator.
+_GLOBAL_NODES = (SortNode, LimitNode, DistinctNode)
+
+
+@dataclass
+class Section:
+    """One parallelizable section: its input schema and operator chain.
+
+    ``nodes`` are listed bottom-up (first node consumes the parameter
+    tuple); the first node is the section's OWF apply.
+    """
+
+    index: int
+    input_schema: tuple[str, ...]
+    nodes: list[PlanNode]
+
+    @property
+    def name(self) -> str:
+        return f"PF{self.index}"
+
+
+def _linearize(plan: PlanNode) -> list[PlanNode]:
+    """Linear chains only; returns nodes bottom-up."""
+    chain: list[PlanNode] = []
+    node = plan
+    while True:
+        children = node.children()
+        chain.append(node)
+        if not children:
+            break
+        if len(children) != 1:
+            raise PlanError("plan is not a linear chain")
+        node = children[0]
+    chain.reverse()
+    if not isinstance(chain[0], SingletonNode):
+        raise PlanError("chain must be rooted in a singleton")
+    return chain
+
+
+def _rebase(node: PlanNode, new_child: PlanNode) -> PlanNode:
+    """A copy of ``node`` reading from ``new_child``."""
+    if isinstance(node, ApplyNode):
+        return ApplyNode(new_child, node.function, node.arguments, node.out_columns)
+    if isinstance(node, MapNode):
+        return MapNode(new_child, node.expression, node.out_column)
+    if isinstance(node, FilterNode):
+        return FilterNode(new_child, node.op, node.left, node.right)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(new_child, node.items)
+    if isinstance(node, DistinctNode):
+        return DistinctNode(new_child)
+    if isinstance(node, SortNode):
+        return SortNode(new_child, node.keys)
+    if isinstance(node, LimitNode):
+        return LimitNode(new_child, node.count)
+    raise PlanError(f"cannot rebase plan node {node.label()!r}")
+
+
+def _is_parallelizable(node: PlanNode, registry: FunctionRegistry) -> bool:
+    """An OWF apply fed by a parameter stream (Sec. IV)."""
+    if not isinstance(node, ApplyNode):
+        return False
+    function = registry.resolve(node.function)
+    if function.kind is not FunctionKind.OWF:
+        return False
+    return any(columns_of(argument) for argument in node.arguments)
+
+
+def split_sections(
+    plan: PlanNode, registry: FunctionRegistry
+) -> tuple[list[PlanNode], list[Section], list[PlanNode]]:
+    """Split a linear central plan into (coordinator chain, sections,
+    coordinator post-processing chain).
+
+    The post-processing chain holds the trailing blocking operators
+    (sort/limit/distinct) that must never be shipped into a plan function.
+    """
+    chain = _linearize(plan)
+    post: list[PlanNode] = []
+    while chain and isinstance(chain[-1], _GLOBAL_NODES):
+        post.insert(0, chain.pop())
+    boundaries = [
+        position
+        for position, node in enumerate(chain)
+        if _is_parallelizable(node, registry)
+    ]
+    coordinator = chain[: boundaries[0]] if boundaries else chain
+    sections: list[Section] = []
+    for section_number, start in enumerate(boundaries, start=1):
+        end = (
+            boundaries[section_number]
+            if section_number < len(boundaries)
+            else len(chain)
+        )
+        sections.append(
+            Section(
+                index=section_number,
+                input_schema=chain[start].children()[0].schema,
+                nodes=chain[start:end],
+            )
+        )
+    return coordinator, sections, post
+
+
+def count_sections(plan: PlanNode, registry: FunctionRegistry) -> int:
+    """Total parallelizable sections across the whole (possibly bushy) plan."""
+    if isinstance(plan, JoinNode):
+        return count_sections(plan.left, registry) + count_sections(
+            plan.right, registry
+        )
+    total = 0
+    node = plan
+    while True:
+        if isinstance(node, JoinNode):
+            return total + count_sections(node, registry)
+        if _is_parallelizable(node, registry):
+            total += 1
+        children = node.children()
+        if not children:
+            return total
+        node = children[0]
+
+
+def _rebuild(nodes: list[PlanNode], root: PlanNode) -> PlanNode:
+    plan = root
+    for node in nodes:
+        plan = _rebase(node, plan)
+    return plan
+
+
+def _fuse_sections(
+    sections: list[Section], fanouts: list[int]
+) -> tuple[list[Section], list[int]]:
+    """Apply flat-tree fusion: a fanout of 0 merges its section into the
+    previous one (both OWFs then run in the same plan function)."""
+    if not sections:
+        return [], []
+    if fanouts[0] == 0:
+        raise PlanError("the first fanout of a chain cannot be 0")
+    fused_sections: list[Section] = []
+    fused_fanouts: list[int] = []
+    for section, fanout in zip(sections, fanouts):
+        if fanout == 0:
+            previous = fused_sections[-1]
+            previous.nodes = previous.nodes + section.nodes
+        else:
+            fused_sections.append(
+                Section(section.index, section.input_schema, list(section.nodes))
+            )
+            fused_fanouts.append(fanout)
+    return fused_sections, fused_fanouts
+
+
+class _FanoutCursor:
+    """Deals the fanout vector out to chains in plan order."""
+
+    def __init__(self, fanouts: list[int] | None) -> None:
+        self.fanouts = fanouts
+        self.position = 0
+
+    def take(self, count: int) -> list[int]:
+        if self.fanouts is None:
+            return []
+        if self.position + count > len(self.fanouts):
+            raise PlanError(
+                f"fanout vector of length {len(self.fanouts)} is too short: "
+                f"the plan has more parallelizable sections"
+            )
+        taken = self.fanouts[self.position : self.position + count]
+        self.position += count
+        return taken
+
+    def assert_exhausted(self) -> None:
+        if self.fanouts is not None and self.position != len(self.fanouts):
+            raise PlanError(
+                f"fanout vector of length {len(self.fanouts)} does not match "
+                f"{self.position} parallelizable sections"
+            )
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        cursor: _FanoutCursor,
+        adaptation: AdaptationParams | None,
+    ) -> None:
+        self.registry = registry
+        self.cursor = cursor
+        self.adaptation = adaptation
+        self._pf_counter = 0  # unique PF names across bushy branches
+
+    def rewrite(self, plan: PlanNode) -> PlanNode:
+        # Peel the single-child spine down to a leaf or a join.
+        spine: list[PlanNode] = []
+        current = plan
+        while True:
+            children = current.children()
+            if len(children) != 1:
+                break
+            spine.append(current)
+            current = children[0]
+        if isinstance(current, JoinNode):
+            for node in spine:
+                if _is_parallelizable(node, self.registry):
+                    raise PlanError(
+                        "parallelizable call above a join is not supported"
+                    )
+            new_join = JoinNode(
+                left=self.rewrite(current.left),
+                right=self.rewrite(current.right),
+                conditions=current.conditions,
+            )
+            return _rebuild(list(reversed(spine)), new_join)
+        # A pure chain rooted in the singleton.
+        return self._rewrite_chain(plan)
+
+    def _rewrite_chain(self, plan: PlanNode) -> PlanNode:
+        coordinator_nodes, sections, post = split_sections(plan, self.registry)
+        if not sections:
+            return plan
+        # Unique plan-function names across all branches of a bushy plan.
+        for section in sections:
+            self._pf_counter += 1
+            section.index = self._pf_counter
+
+        if self.adaptation is None:
+            fanouts = self.cursor.take(len(sections))
+            sections, effective = _fuse_sections(sections, fanouts)
+
+            def make_operator(position: int, body: PlanNode, shipped: PlanFunction) -> PlanNode:
+                return FFApplyNode(
+                    child=body, plan_function=shipped, fanout=effective[position]
+                )
+
+            top_fanout = effective[0]
+        else:
+
+            def make_operator(position: int, body: PlanNode, shipped: PlanFunction) -> PlanNode:
+                return AFFApplyNode(
+                    child=body, plan_function=shipped, params=self.adaptation
+                )
+
+            top_fanout = None
+
+        shipped = self._nest(sections, make_operator)
+        coordinator = _rebuild(coordinator_nodes[1:], SingletonNode())
+        if self.adaptation is None:
+            operator: PlanNode = FFApplyNode(
+                child=coordinator, plan_function=shipped, fanout=top_fanout
+            )
+        else:
+            operator = AFFApplyNode(
+                child=coordinator, plan_function=shipped, params=self.adaptation
+            )
+        return _rebuild(post, operator)
+
+    def _nest(self, sections: list[Section], make_operator) -> PlanFunction:
+        """Build the nested plan functions, innermost (deepest) first."""
+        shipped: PlanFunction | None = None
+        for position in range(len(sections) - 1, -1, -1):
+            section = sections[position]
+            body = _rebuild(section.nodes, ParamNode(schema=section.input_schema))
+            if shipped is not None:
+                body = make_operator(position + 1, body, shipped)
+            shipped = PlanFunction(
+                name=section.name, param_schema=section.input_schema, body=body
+            )
+        if shipped is None:
+            raise PlanError("no parallelizable sections")
+        return shipped
+
+
+def parallelize(
+    plan: PlanNode,
+    registry: FunctionRegistry,
+    fanouts: list[int] | None = None,
+    adaptation: AdaptationParams | None = None,
+) -> PlanNode:
+    """Rewrite a central plan into a parallel one.
+
+    Exactly one of ``fanouts`` (manual ``FF_APPLYP`` tree, one entry per
+    parallelizable section in left-to-right plan order, 0 = fuse into the
+    previous level) or ``adaptation`` (``AFF_APPLYP``) must be given.  A
+    plan with no parallelizable section is returned unchanged.
+    """
+    if (fanouts is None) == (adaptation is None):
+        raise PlanError("specify exactly one of fanouts/adaptation")
+    total = count_sections(plan, registry)
+    if total == 0:
+        if fanouts:
+            raise PlanError(
+                f"fanout vector of length {len(fanouts)} does not match "
+                "0 parallelizable sections"
+            )
+        return plan
+    if fanouts is not None and len(fanouts) != total:
+        raise PlanError(
+            f"fanout vector of length {len(fanouts)} does not match "
+            f"{total} parallelizable sections"
+        )
+    cursor = _FanoutCursor(list(fanouts) if fanouts is not None else None)
+    rewriter = _Rewriter(registry, cursor, adaptation)
+    rewritten = rewriter.rewrite(plan)
+    cursor.assert_exhausted()
+    return rewritten

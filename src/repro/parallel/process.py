@@ -1,0 +1,100 @@
+"""The child query process.
+
+A query process is spawned by an ``FF_APPLYP``/``AFF_APPLYP`` operator in
+its parent.  It first receives its plan function definition (once, before
+execution — Sec. III), installs it, then loops: receive a parameter tuple,
+execute the plan function for it, stream the result tuples back, send an
+end-of-call message, repeat.  A ``Shutdown`` message ends the process,
+cascading to any children of nested operators via the executor's pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.interpreter import ExecutionContext, iterate_plan
+from repro.algebra.plan import PlanFunction
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.messages import (
+    ChildError,
+    EndOfCall,
+    ParamTuple,
+    ResultTuple,
+    ShipPlanFunction,
+    Shutdown,
+)
+from repro.runtime.base import Channel
+from repro.util.errors import ReproError
+
+
+@dataclass
+class ChildEndpoints:
+    """The channels wiring one child into its parent's operator."""
+
+    name: str
+    downlink: Channel  # parent -> this child
+    uplink: Channel  # this child -> parent (shared inbox)
+    calls_handled: int = 0
+    rows_emitted: int = 0
+
+
+async def child_main(
+    ctx: ExecutionContext,
+    costs: ProcessCosts,
+    endpoints: ChildEndpoints,
+    on_exit=None,
+) -> None:
+    """Body of a query process (one level of the tree of Fig 4)."""
+    kernel = ctx.kernel
+    await kernel.sleep(costs.startup)
+
+    first = await endpoints.downlink.recv()
+    if isinstance(first, Shutdown):
+        return
+    if not isinstance(first, ShipPlanFunction):
+        endpoints.uplink.send(
+            ChildError(endpoints.name, f"expected a plan function, got {first!r}")
+        )
+        return
+    plan_function = PlanFunction.from_dict(first.plan_function)
+    await kernel.sleep(costs.install)
+    ctx.trace.record(
+        kernel.now(),
+        "install",
+        process=endpoints.name,
+        plan_function=plan_function.name,
+    )
+
+    try:
+        while True:
+            message = await endpoints.downlink.recv()
+            if isinstance(message, Shutdown):
+                break
+            if not isinstance(message, ParamTuple):
+                continue  # ReadyToReceive and friends need no child action
+            rows_for_call = 0
+            try:
+                async for row in iterate_plan(
+                    plan_function.body, ctx, param_row=message.row
+                ):
+                    await kernel.sleep(costs.result_tuple)
+                    endpoints.uplink.send(ResultTuple(endpoints.name, row))
+                    rows_for_call += 1
+            except ReproError as error:
+                endpoints.uplink.send(ChildError(endpoints.name, str(error)))
+                break
+            endpoints.calls_handled += 1
+            endpoints.rows_emitted += rows_for_call
+            endpoints.uplink.send(
+                EndOfCall(endpoints.name, message.seq, rows_for_call)
+            )
+    finally:
+        if on_exit is not None:
+            await on_exit()
+        ctx.trace.record(
+            kernel.now(),
+            "process_exit",
+            process=endpoints.name,
+            calls=endpoints.calls_handled,
+            rows=endpoints.rows_emitted,
+        )

@@ -1,0 +1,101 @@
+"""Process-tree descriptions and statistics.
+
+:class:`FanoutVector` captures the paper's notation ``{fo1, fo2}`` with the
+process-count formula of Sec. V (``N = fo1 + fo1*fo2`` for two levels), and
+:func:`tree_stats_from_trace` reconstructs what tree an execution actually
+built — average fanouts per level, add/drop stage counts — from the shared
+trace log, which is how the ``AFF_APPLYP`` benchmarks report the average
+fanouts of Fig 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import PlanError
+from repro.util.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class FanoutVector:
+    """The per-level fanouts of a manual process tree.
+
+    A trailing 0 fuses the level into the previous one (flat tree, Fig 14).
+    """
+
+    fanouts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fanouts:
+            raise PlanError("fanout vector cannot be empty")
+        if self.fanouts[0] <= 0:
+            raise PlanError("first fanout must be positive")
+        if any(f < 0 for f in self.fanouts):
+            raise PlanError("fanouts cannot be negative")
+
+    @property
+    def effective(self) -> tuple[int, ...]:
+        """Fanouts after flat-tree fusion (zeros removed)."""
+        return tuple(f for f in self.fanouts if f > 0)
+
+    def total_processes(self) -> int:
+        """N = fo1 + fo1*fo2 + fo1*fo2*fo3 + ... (Sec. V)."""
+        total = 0
+        layer = 1
+        for fanout in self.effective:
+            layer *= fanout
+            total += layer
+        return total
+
+    def is_flat(self) -> bool:
+        return len(self.fanouts) > 1 and all(f == 0 for f in self.fanouts[1:])
+
+    def is_balanced(self) -> bool:
+        effective = self.effective
+        return len(set(effective)) == 1
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(f) for f in self.fanouts) + "}"
+
+
+@dataclass
+class TreeStats:
+    """What one execution's process tree looked like."""
+
+    processes_spawned: int = 0
+    processes_dropped: int = 0
+    add_stages: int = 0
+    drop_stages: int = 0
+    # plan function name -> (number of pools, average final fanout)
+    fanout_by_level: dict[str, float] = field(default_factory=dict)
+    pools_by_level: dict[str, int] = field(default_factory=dict)
+
+    def average_fanouts(self) -> list[float]:
+        """Average fanout per level, outermost plan function first."""
+        return [self.fanout_by_level[name] for name in sorted(self.fanout_by_level)]
+
+
+def tree_stats_from_trace(trace: TraceLog) -> TreeStats:
+    """Reconstruct tree statistics from the execution trace."""
+    stats = TreeStats()
+    # children alive per (parent process, plan function)
+    alive: dict[tuple[str, str], int] = {}
+    for event in trace:
+        if event.kind == "spawn":
+            stats.processes_spawned += 1
+            key = (event.data["parent"], event.data["plan_function"])
+            alive[key] = alive.get(key, 0) + 1
+        elif event.kind == "drop_stage":
+            stats.processes_dropped += 1
+            stats.drop_stages += 1
+            key = (event.data["process"], event.data["plan_function"])
+            alive[key] = alive.get(key, 1) - 1
+        elif event.kind == "add_stage":
+            stats.add_stages += 1
+    by_level: dict[str, list[int]] = {}
+    for (_, plan_function), count in alive.items():
+        by_level.setdefault(plan_function, []).append(count)
+    for plan_function, counts in by_level.items():
+        stats.pools_by_level[plan_function] = len(counts)
+        stats.fanout_by_level[plan_function] = sum(counts) / len(counts)
+    return stats

@@ -1,0 +1,26 @@
+"""Execution runtimes.
+
+The query-process engine is written once as coroutines against the
+:class:`~repro.runtime.base.Kernel` abstraction and can then run under:
+
+* :class:`~repro.runtime.simulated.SimKernel` — a deterministic
+  discrete-event scheduler with *virtual* time.  All benchmarks use it: a
+  "2400 second" query executes in milliseconds of wall time while the
+  virtual clock reproduces the paper's timing behaviour.
+* :class:`~repro.runtime.realtime.AsyncioKernel` — real ``asyncio`` with
+  (scaled) wall-clock sleeps, demonstrating genuine concurrent execution.
+"""
+
+from repro.runtime.base import Channel, Event, Kernel, ProcessHandle, Semaphore
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.simulated import SimKernel
+
+__all__ = [
+    "Channel",
+    "Event",
+    "Kernel",
+    "ProcessHandle",
+    "Semaphore",
+    "AsyncioKernel",
+    "SimKernel",
+]

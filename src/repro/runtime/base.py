@@ -1,0 +1,153 @@
+"""Kernel abstraction shared by the simulated and real-time runtimes.
+
+A *kernel* provides the concurrency primitives the query-process engine
+needs: a clock, sleeping, message channels with delivery latency, counted
+semaphores (used by the service broker to model server capacity), events,
+and process spawning.  Operator code (``FF_APPLYP``, ``AFF_APPLYP``, the
+plan interpreter) only ever talks to this interface, which is what lets a
+single implementation run both under virtual time and under ``asyncio``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Awaitable, Coroutine
+
+
+class Channel(ABC):
+    """An unbounded, ordered message channel with per-message latency.
+
+    ``send`` never blocks (the paper's processes stream results back
+    asynchronously); ``recv`` suspends until a message has *arrived*, i.e.
+    its delivery latency has elapsed.
+    """
+
+    @abstractmethod
+    def send(self, message: Any) -> None:
+        """Enqueue ``message`` for delivery after the channel's latency."""
+
+    @abstractmethod
+    async def recv(self) -> Any:
+        """Suspend until the next message is deliverable and return it."""
+
+    @abstractmethod
+    def pending(self) -> int:
+        """Number of messages sent but not yet received (any delivery state)."""
+
+
+class Semaphore(ABC):
+    """Counted semaphore with FIFO wakeup order."""
+
+    @abstractmethod
+    async def acquire(self) -> None: ...
+
+    @abstractmethod
+    def release(self) -> None: ...
+
+    @abstractmethod
+    def available(self) -> int:
+        """Number of free slots right now."""
+
+
+class Event(ABC):
+    """One-shot level-triggered event."""
+
+    @abstractmethod
+    async def wait(self) -> None: ...
+
+    @abstractmethod
+    def set(self) -> None: ...
+
+    @abstractmethod
+    def is_set(self) -> bool: ...
+
+
+class ProcessHandle(ABC):
+    """Handle to a spawned process (a kernel-scheduled coroutine)."""
+
+    name: str
+
+    @property
+    @abstractmethod
+    def done(self) -> bool: ...
+
+    @abstractmethod
+    async def join(self) -> Any:
+        """Wait for completion and return the process result.
+
+        Re-raises the process's exception if it failed, including
+        cancellation.
+        """
+
+    @abstractmethod
+    def cancel(self) -> None:
+        """Request cancellation; the process sees ``asyncio.CancelledError``."""
+
+
+class Kernel(ABC):
+    """Factory and scheduler for the primitives above."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in model seconds."""
+
+    @abstractmethod
+    def sleep(self, duration: float) -> Awaitable[None]:
+        """Suspend the calling process for ``duration`` model seconds."""
+
+    @abstractmethod
+    def channel(self, name: str = "", latency: float = 0.0) -> Channel: ...
+
+    @abstractmethod
+    def semaphore(self, value: int) -> Semaphore: ...
+
+    @abstractmethod
+    def event(self) -> Event: ...
+
+    @abstractmethod
+    def spawn(
+        self, coro: Coroutine[Any, Any, Any], name: str = ""
+    ) -> ProcessHandle:
+        """Start ``coro`` as a concurrent process and return its handle."""
+
+    @abstractmethod
+    def run(self, coro: Coroutine[Any, Any, Any]) -> Any:
+        """Drive ``coro`` (and everything it spawns) to completion.
+
+        Returns the coroutine's result; this is the single entry point from
+        synchronous code.
+        """
+
+    async def gather(self, *coros: Coroutine[Any, Any, Any]) -> list[Any]:
+        """Run coroutines concurrently and return their results in order."""
+        handles = [self.spawn(coro, name=f"gather-{index}") for index, coro in enumerate(coros)]
+        return [await handle.join() for handle in handles]
+
+    async def wait_for(self, coro: Coroutine[Any, Any, Any], timeout: float) -> Any:
+        """Run ``coro`` with a deadline of ``timeout`` model seconds.
+
+        Raises :class:`TimeoutError` (the builtin) and cancels the
+        coroutine if the deadline passes first.  Built on the kernel
+        primitives, so it works identically under both kernels.
+        """
+        done = self.event()
+        task = self.spawn(coro, name="wait_for-body")
+
+        async def watch() -> None:
+            try:
+                await task.join()
+            except BaseException:
+                pass
+            done.set()
+
+        async def timer() -> None:
+            await self.sleep(timeout)
+            done.set()
+
+        self.spawn(watch(), name="wait_for-watch")
+        self.spawn(timer(), name="wait_for-timer")
+        await done.wait()
+        if task.done:
+            return await task.join()
+        task.cancel()
+        raise TimeoutError(f"operation exceeded {timeout} model seconds")

@@ -1,0 +1,406 @@
+"""Discrete-event virtual-time kernel.
+
+Processes are plain ``async def`` coroutines.  Awaiting one of the kernel's
+primitives yields a *request* object through the coroutine chain to the
+scheduler, which resumes the process when the request is satisfied — at a
+later point of the virtual clock, never of the wall clock.  The scheduler is
+fully deterministic: ties in time are broken by a monotone sequence number,
+so every run of an experiment with the same seed produces identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from asyncio import CancelledError
+from collections import deque
+from typing import Any, Callable, Coroutine, Generator
+
+from repro.runtime import base
+from repro.util.errors import DeadlockError, KernelError
+
+_NOTHING = object()
+
+
+class _Request:
+    """Base class for scheduler requests yielded by awaitables."""
+
+    __slots__ = ()
+
+
+class _SleepRequest(_Request):
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+
+class _RecvRequest(_Request):
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "SimChannel") -> None:
+        self.channel = channel
+
+
+class _AcquireRequest(_Request):
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: "SimSemaphore") -> None:
+        self.semaphore = semaphore
+
+
+class _WaitRequest(_Request):
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent") -> None:
+        self.event = event
+
+
+class _JoinRequest(_Request):
+    __slots__ = ("task",)
+
+    def __init__(self, task: "SimTask") -> None:
+        self.task = task
+
+
+class _Suspend:
+    """Awaitable wrapper: yields the request, returns the resume value."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, request: _Request) -> None:
+        self.request = request
+
+    def __await__(self) -> Generator[_Request, Any, Any]:
+        value = yield self.request
+        return value
+
+
+class SimTask(base.ProcessHandle):
+    """A coroutine scheduled by :class:`SimKernel`."""
+
+    def __init__(self, kernel: "SimKernel", coro: Coroutine, name: str) -> None:
+        self.name = name
+        self._kernel = kernel
+        self._coro = coro
+        self._done = False
+        self._cancelled = False
+        self._cancel_requested = False
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._joiners: list[SimTask] = []
+        # Incremented whenever the task is rescheduled so that stale wakeup
+        # callbacks (e.g. a sleep that was cancelled) become no-ops.
+        self._wake_token = 0
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def result(self) -> Any:
+        """Result of a finished task; raises its error if it failed."""
+        if not self._done:
+            raise KernelError(f"task {self.name!r} is not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    async def join(self) -> Any:
+        if not self._done:
+            await _Suspend(_JoinRequest(self))
+        return self.result()
+
+    def cancel(self) -> None:
+        if self._done or self._cancel_requested:
+            return
+        self._cancel_requested = True
+        # Invalidate whatever wakeup the task was waiting for and deliver
+        # CancelledError at the current virtual time instead.
+        self._wake_token += 1
+        self._kernel._schedule(
+            self._kernel.now(),
+            lambda: self._kernel._step(self, exc=CancelledError()),
+        )
+
+    # -- internal -----------------------------------------------------------
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        self._cancelled = isinstance(error, CancelledError)
+        kernel = self._kernel
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            kernel._schedule(kernel.now(), lambda j=joiner: kernel._step(j))
+
+
+class SimChannel(base.Channel):
+    """Channel with optional delivery latency under virtual time."""
+
+    def __init__(self, kernel: "SimKernel", name: str, latency: float) -> None:
+        self.name = name
+        self.latency = latency
+        self._kernel = kernel
+        # Heap of (deliver_time, seq, message); seq keeps FIFO order among
+        # messages sent at the same instant.
+        self._queue: list[tuple[float, int, Any]] = []
+        self._waiters: deque[SimTask] = deque()
+        self._seq = 0
+
+    def send(self, message: Any) -> None:
+        deliver_at = self._kernel.now() + self.latency
+        heapq.heappush(self._queue, (deliver_at, self._seq, message))
+        self._seq += 1
+        if self._waiters:
+            self._kernel._schedule(deliver_at, self._drain)
+
+    async def recv(self) -> Any:
+        return await _Suspend(_RecvRequest(self))
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- internal -----------------------------------------------------------
+
+    def _pop_ready(self, now: float) -> Any:
+        """Pop the earliest message whose delivery time has arrived."""
+        if self._queue and self._queue[0][0] <= now:
+            return heapq.heappop(self._queue)[2]
+        return _NOTHING
+
+    def _drain(self) -> None:
+        """Hand ready messages to parked receivers, in FIFO order."""
+        kernel = self._kernel
+        now = kernel.now()
+        while self._waiters and self._queue and self._queue[0][0] <= now:
+            waiter = self._waiters.popleft()
+            if waiter.done or waiter._cancel_requested:
+                continue
+            message = heapq.heappop(self._queue)[2]
+            kernel._step(waiter, value=message)
+        if self._waiters and self._queue:
+            kernel._schedule(self._queue[0][0], self._drain)
+
+
+class SimSemaphore(base.Semaphore):
+    """FIFO counted semaphore under virtual time."""
+
+    def __init__(self, kernel: "SimKernel", value: int) -> None:
+        if value < 0:
+            raise KernelError(f"semaphore value must be >= 0, got {value}")
+        self._kernel = kernel
+        self._value = value
+        self._waiters: deque[SimTask] = deque()
+
+    async def acquire(self) -> None:
+        await _Suspend(_AcquireRequest(self))
+
+    def release(self) -> None:
+        self._value += 1
+        self._wake_next()
+
+    def available(self) -> int:
+        return self._value
+
+    # -- internal -----------------------------------------------------------
+
+    def _try_take(self) -> bool:
+        while self._waiters and (
+            self._waiters[0].done or self._waiters[0]._cancel_requested
+        ):
+            self._waiters.popleft()
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
+    def _wake_next(self) -> None:
+        kernel = self._kernel
+        while self._value > 0 and self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.done or waiter._cancel_requested:
+                continue
+            self._value -= 1
+            kernel._schedule(kernel.now(), lambda w=waiter: kernel._step(w))
+            break
+
+
+class SimEvent(base.Event):
+    def __init__(self, kernel: "SimKernel") -> None:
+        self._kernel = kernel
+        self._set = False
+        self._waiters: list[SimTask] = []
+
+    async def wait(self) -> None:
+        if not self._set:
+            await _Suspend(_WaitRequest(self))
+
+    def set(self) -> None:
+        if self._set:
+            return
+        self._set = True
+        kernel = self._kernel
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done:
+                kernel._schedule(kernel.now(), lambda w=waiter: kernel._step(w))
+
+    def is_set(self) -> bool:
+        return self._set
+
+
+class SimKernel(base.Kernel):
+    """Deterministic discrete-event scheduler.
+
+    ``run`` drives the main coroutine to completion, advancing a virtual
+    clock.  If the event heap empties while tasks are still parked the
+    kernel raises :class:`DeadlockError` naming them, so protocol bugs fail
+    fast instead of hanging.
+    """
+
+    def __init__(self, *, max_events: int = 50_000_000) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._max_events = max_events
+        self._tasks: list[SimTask] = []
+        self._parked: dict[int, str] = {}  # id(task) -> what it waits on
+
+    # -- Kernel API ----------------------------------------------------------
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, duration: float):
+        if duration < 0:
+            raise KernelError(f"cannot sleep a negative duration: {duration}")
+        return _Suspend(_SleepRequest(duration))
+
+    def channel(self, name: str = "", latency: float = 0.0) -> SimChannel:
+        return SimChannel(self, name, latency)
+
+    def semaphore(self, value: int) -> SimSemaphore:
+        return SimSemaphore(self, value)
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def spawn(self, coro: Coroutine, name: str = "") -> SimTask:
+        task = SimTask(self, coro, name or f"task-{len(self._tasks)}")
+        self._tasks.append(task)
+        self._schedule(self._now, lambda: self._step(task))
+        return task
+
+    def run(self, coro: Coroutine) -> Any:
+        main = self.spawn(coro, name="main")
+        events = 0
+        while self._heap and not main.done:
+            events += 1
+            if events > self._max_events:
+                raise KernelError(
+                    f"simulation exceeded {self._max_events} events; "
+                    "likely a livelock in operator code"
+                )
+            time, _, action = heapq.heappop(self._heap)
+            if time < self._now:
+                raise KernelError("scheduler time went backwards")
+            self._now = time
+            action()
+        if not main.done:
+            waiting = ", ".join(
+                f"{task.name}<-{self._parked.get(id(task), '?')}"
+                for task in self._tasks
+                if not task.done
+            )
+            self._close_remaining()
+            raise DeadlockError(f"no runnable tasks; parked: {waiting}")
+        self._close_remaining()
+        return main.result()
+
+    def _close_remaining(self) -> None:
+        """Close coroutines of tasks abandoned when the main task ended."""
+        for task in self._tasks:
+            if not task.done:
+                task._coro.close()
+                task._finish(None, CancelledError("kernel shut down"))
+
+    # -- internal -----------------------------------------------------------
+
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def _step(
+        self, task: SimTask, value: Any = None, exc: BaseException | None = None
+    ) -> None:
+        """Advance ``task`` until it parks, sleeps or finishes."""
+        if task.done:
+            return
+        self._parked.pop(id(task), None)
+        while True:
+            try:
+                if exc is not None:
+                    pending_exc, exc = exc, None
+                    request = task._coro.throw(pending_exc)
+                else:
+                    request = task._coro.send(value)
+            except StopIteration as stop:
+                task._finish(stop.value, None)
+                return
+            except CancelledError as cancelled:
+                task._finish(None, cancelled)
+                return
+            except BaseException as error:  # surface failures via join()
+                task._finish(None, error)
+                return
+            value = None
+            if isinstance(request, _SleepRequest):
+                token = task._wake_token
+                self._schedule(
+                    self._now + request.duration,
+                    lambda: self._resume_if_current(task, token),
+                )
+                self._parked[id(task)] = "sleep"
+                return
+            if isinstance(request, _RecvRequest):
+                message = request.channel._pop_ready(self._now)
+                if message is not _NOTHING:
+                    value = message
+                    continue
+                request.channel._waiters.append(task)
+                if request.channel._queue:
+                    self._schedule(
+                        request.channel._queue[0][0], request.channel._drain
+                    )
+                self._parked[id(task)] = f"recv({request.channel.name})"
+                return
+            if isinstance(request, _AcquireRequest):
+                if request.semaphore._try_take():
+                    continue
+                request.semaphore._waiters.append(task)
+                self._parked[id(task)] = "semaphore"
+                return
+            if isinstance(request, _WaitRequest):
+                if request.event.is_set():
+                    continue
+                request.event._waiters.append(task)
+                self._parked[id(task)] = "event"
+                return
+            if isinstance(request, _JoinRequest):
+                if request.task.done:
+                    continue
+                request.task._joiners.append(task)
+                self._parked[id(task)] = f"join({request.task.name})"
+                return
+            raise KernelError(
+                f"task {task.name!r} awaited a foreign awaitable: {request!r}; "
+                "only kernel primitives may be awaited under SimKernel"
+            )
+
+    def _resume_if_current(self, task: SimTask, token: int) -> None:
+        if not task.done and task._wake_token == token:
+            self._step(task)

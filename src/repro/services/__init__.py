@@ -1,0 +1,39 @@
+"""Simulated web-service substrate.
+
+The paper queries four public 2009 services — codeBump GeoPlaces and
+Zipcodes, Microsoft TerraService and USZip — which no longer exist.  This
+subpackage rebuilds them end to end:
+
+* :mod:`repro.services.geodata` — a seeded synthetic USA (states, places,
+  zip codes) shaped to the paper's cardinalities,
+* :mod:`repro.services.wsdl` / :mod:`repro.services.soap` — WSDL documents
+  (authored as real XML, parsed with a real parser) and SOAP-style result
+  encoding/decoding through actual XML text,
+* :mod:`repro.services.providers` — the four service implementations,
+* :mod:`repro.services.broker` — the latency/contention model: per-service
+  k-slot FIFO server capacity, network round-trip time, per-call set-up
+  cost and seeded jitter.  This is what creates the paper's "optimal number
+  of parallel calls" phenomenon,
+* :mod:`repro.services.registry` — wiring plus named cost profiles,
+  including the calibrated ``paper`` profile.
+"""
+
+from repro.services.broker import CallStats, ServiceBroker
+from repro.services.geodata import GeoConfig, GeoDatabase, Place
+from repro.services.latency import EndpointProfile
+from repro.services.registry import ServiceRegistry, build_registry, profile_by_name
+from repro.services.wsdl import WsdlDocument, parse_wsdl
+
+__all__ = [
+    "CallStats",
+    "ServiceBroker",
+    "GeoConfig",
+    "GeoDatabase",
+    "Place",
+    "EndpointProfile",
+    "ServiceRegistry",
+    "build_registry",
+    "profile_by_name",
+    "WsdlDocument",
+    "parse_wsdl",
+]

@@ -1,0 +1,232 @@
+"""The service broker: the simulated network and server farm.
+
+Every web-service call in the system goes through :meth:`ServiceBroker.call`:
+
+1. the caller pays the message set-up cost and half the round trip,
+2. the request queues for one of the service's ``capacity`` server slots
+   (FIFO — this is where contention appears under high fanout),
+3. the server holds the slot for the profile's service time (plus per-row
+   time and seeded jitter) while computing the real result through the
+   provider and round-tripping it through XML,
+4. the response pays the other half of the round trip.
+
+The broker also keeps per-operation statistics (call counts, queue waits,
+busy time) that benchmarks and tests assert on — e.g. "Query2 makes more
+than 5000 calls".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fdb.values import Sequence
+from repro.runtime.base import Kernel, Semaphore
+from repro.services import soap
+from repro.services.latency import EndpointProfile
+from repro.services.wsdl import WsdlDocument
+from repro.util.errors import ServiceFault, UnknownServiceError
+from repro.util.rng import derive_rng
+from repro.util.stats import RunningStat
+
+
+@dataclass
+class CallStats:
+    """Aggregate statistics for one operation."""
+
+    calls: int = 0
+    rows: int = 0
+    bytes_transferred: int = 0
+    queue_wait: RunningStat = field(default_factory=RunningStat)
+    server_time: RunningStat = field(default_factory=RunningStat)
+    total_time: RunningStat = field(default_factory=RunningStat)
+
+
+class _Endpoint:
+    """One registered service host: provider + capacity + profiles."""
+
+    def __init__(
+        self,
+        document: WsdlDocument,
+        provider: Any,
+        capacity: int,
+        profiles: dict[str, EndpointProfile],
+    ) -> None:
+        if capacity < 1:
+            raise UnknownServiceError(
+                f"service {document.service_name!r} capacity must be >= 1"
+            )
+        self.document = document
+        self.provider = provider
+        self.capacity = capacity
+        self.profiles = profiles
+        self.slots: Semaphore | None = None  # bound to a kernel per run
+        self.concurrent = 0  # requests currently queued or in service
+
+    def profile_for(self, operation: str) -> EndpointProfile:
+        try:
+            return self.profiles[operation]
+        except KeyError:
+            raise UnknownServiceError(
+                f"no cost profile for operation {operation!r} of service "
+                f"{self.document.service_name!r}"
+            ) from None
+
+
+class ServiceBroker:
+    """Routes ``cwo`` calls to simulated endpoints under a kernel clock.
+
+    A broker instance is bound to one kernel run.  ``fault_rate`` injects
+    :class:`ServiceFault` on a seeded fraction of calls (0 by default);
+    failure-injection tests use it to exercise operator error paths.
+    """
+
+    def __init__(
+        self, kernel: Kernel, *, seed: int = 2009, fault_rate: float = 0.0
+    ) -> None:
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError("fault_rate must be in [0, 1)")
+        self.kernel = kernel
+        self.fault_rate = fault_rate
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._stats: dict[str, CallStats] = {}
+        self._rng = derive_rng(seed, "broker")
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        document: WsdlDocument,
+        provider: Any,
+        *,
+        capacity: int,
+        profiles: dict[str, EndpointProfile],
+    ) -> None:
+        """Register a provider under its WSDL document URI."""
+        missing = set(document.operations) - set(profiles)
+        if missing:
+            raise UnknownServiceError(
+                f"service {document.service_name!r} lacks profiles for: "
+                f"{sorted(missing)}"
+            )
+        self._endpoints[document.uri] = _Endpoint(
+            document, provider, capacity, profiles
+        )
+
+    def endpoint_document(self, uri: str) -> WsdlDocument:
+        return self._endpoint(uri).document
+
+    def documents(self) -> list[WsdlDocument]:
+        return [endpoint.document for endpoint in self._endpoints.values()]
+
+    def _endpoint(self, uri: str) -> _Endpoint:
+        try:
+            return self._endpoints[uri]
+        except KeyError:
+            known = ", ".join(sorted(self._endpoints))
+            raise UnknownServiceError(
+                f"no service registered at {uri!r}; registered: {known or '<none>'}"
+            ) from None
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self, operation: str) -> CallStats:
+        return self._stats.setdefault(operation, CallStats())
+
+    def total_calls(self) -> int:
+        return sum(stat.calls for stat in self._stats.values())
+
+    def all_stats(self) -> dict[str, CallStats]:
+        return dict(self._stats)
+
+    # -- the call path -------------------------------------------------------------
+
+    async def call(
+        self, uri: str, service: str, operation: str, arguments: list[Any]
+    ) -> Sequence:
+        """Invoke a web-service operation; returns the decoded value model.
+
+        This is the transport behind the ``cwo`` built-in of the paper's
+        Fig 2 (line 14).  If the operation's profile declares a timeout,
+        the whole call races a deadline and raises a retriable
+        :class:`ServiceFault` when it loses.
+        """
+        endpoint = self._endpoint(uri)
+        document = endpoint.document
+        if document.service_name != service:
+            raise UnknownServiceError(
+                f"URI {uri!r} serves {document.service_name!r}, not {service!r}"
+            )
+        wsdl_operation = document.operation(operation)
+        profile = endpoint.profile_for(operation)
+        if profile.timeout is None:
+            return await self._perform(endpoint, wsdl_operation, profile, arguments)
+        try:
+            return await self.kernel.wait_for(
+                self._perform(endpoint, wsdl_operation, profile, arguments),
+                profile.timeout,
+            )
+        except TimeoutError:
+            raise ServiceFault(
+                f"{service}.{operation} timed out after "
+                f"{profile.timeout} model seconds",
+                retriable=True,
+            ) from None
+
+    async def _perform(
+        self, endpoint: _Endpoint, wsdl_operation, profile, arguments: list[Any]
+    ) -> Sequence:
+        operation = wsdl_operation.name
+        service = endpoint.document.service_name
+        stats = self.stats(operation)
+        kernel = self.kernel
+        started = kernel.now()
+
+        # Request: marshalling + set-up + half the round trip.
+        request_text = soap.encode_request(wsdl_operation, arguments)
+        await kernel.sleep(profile.setup + profile.rtt / 2.0)
+
+        # Queue for a server slot (lazily bound to this kernel).
+        if endpoint.slots is None:
+            endpoint.slots = kernel.semaphore(endpoint.capacity)
+        queue_entered = kernel.now()
+        endpoint.concurrent += 1
+        acquired = False
+        try:
+            await endpoint.slots.acquire()
+            acquired = True
+            stats.queue_wait.add(kernel.now() - queue_entered)
+            if self.fault_rate and self._rng.random() < self.fault_rate:
+                await kernel.sleep(profile.service_time)
+                raise ServiceFault(
+                    f"{service}.{operation} failed transiently", retriable=True
+                )
+            decoded_arguments = soap.decode_request(wsdl_operation, request_text)
+            payload = endpoint.provider.invoke(operation, decoded_arguments)
+            rows = soap.count_rows(wsdl_operation.output_element, payload)
+            # Load-dependent degradation: every concurrent client beyond
+            # the degradation knee slows processing down.
+            knee = (
+                profile.degrade_above
+                if profile.degrade_above is not None
+                else endpoint.capacity
+            )
+            overload = endpoint.concurrent - knee
+            server_time = profile.server_time(
+                rows, self._rng.uniform(-1.0, 1.0), overload
+            )
+            await kernel.sleep(server_time)
+            stats.server_time.add(server_time)
+        finally:
+            endpoint.concurrent -= 1
+            if acquired:
+                endpoint.slots.release()
+
+        response_text = soap.encode_response(wsdl_operation, payload)
+        await kernel.sleep(profile.rtt / 2.0)
+
+        stats.calls += 1
+        stats.rows += rows
+        stats.bytes_transferred += len(request_text) + len(response_text)
+        stats.total_time.add(kernel.now() - started)
+        return soap.decode_response(wsdl_operation, response_text)

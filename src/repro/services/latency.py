@@ -1,0 +1,100 @@
+"""Cost model for simulated web-service endpoints.
+
+Each operation has an :class:`EndpointProfile`; each *service* (host) has a
+server capacity.  Together with the broker's k-slot FIFO queueing this
+reproduces the two facts the paper's design exploits:
+
+* every call pays a fixed latency + set-up overhead, so sequential plans
+  are slow (Sec. I), and
+* a server saturates beyond some number of concurrent calls, so "normally
+  there is an optimal number of parallel calls for a given web service
+  operation" (Sec. I) — which is what makes the process-tree shape matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EndpointProfile:
+    """Per-operation timing parameters, in model seconds.
+
+    ``rtt``          network round trip (request + response transit).
+    ``setup``        per-call message set-up cost paid by the caller.
+    ``service_time`` server processing time per call.
+    ``per_row``      additional server time per result row.
+    ``jitter``       fraction of uniform noise applied to the server time.
+    ``overload_penalty`` / ``overload_quadratic``
+        linear and quadratic fractional slowdown of the server time per
+        concurrent request beyond the service's capacity.  Public services
+        degrade under load — gently at first, then sharply (thrashing) —
+        which is why "normally there is an optimal number of parallel
+        calls for a given web service operation" (paper Sec. I): beyond
+        the optimum, extra clients make every request slower.  The
+        quadratic term is what creates an *interior* optimum in the fanout
+        grid rather than a flat saturation plateau.
+    """
+
+    rtt: float = 0.2
+    setup: float = 0.02
+    service_time: float = 0.3
+    per_row: float = 0.0
+    jitter: float = 0.05
+    overload_penalty: float = 0.0
+    overload_quadratic: float = 0.0
+    # Degradation sets in above this many concurrent requests; None means
+    # "above the service's server capacity".  Lets a service with many
+    # worker slots (processor sharing) still thrash under load.
+    degrade_above: int | None = None
+    # Client-side call timeout in model seconds (None = wait forever).  A
+    # timed-out call raises a *retriable* ServiceFault after ``timeout``
+    # seconds, so the retry policy can recover from overloaded servers.
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rtt",
+            "setup",
+            "service_time",
+            "per_row",
+            "overload_penalty",
+            "overload_quadratic",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def server_time(self, rows: int, noise: float, overload: int = 0) -> float:
+        """Server processing time for a call returning ``rows`` rows.
+
+        ``noise`` is a uniform [-1, 1) draw from the endpoint's RNG
+        stream; ``overload`` is the number of concurrent requests beyond
+        the service's capacity when this call entered the server.
+        """
+        base = self.service_time + self.per_row * rows
+        excess = max(0, overload)
+        slowdown = (
+            1.0
+            + self.overload_penalty * excess
+            + self.overload_quadratic * excess * excess
+        )
+        return base * slowdown * (1.0 + self.jitter * noise)
+
+    def sequential_call_time(self, rows: int = 1) -> float:
+        """Expected wall time of one uncontended call — used by the
+        heuristic cost model and by calibration sanity checks."""
+        return self.setup + self.rtt + self.service_time + self.per_row * rows
+
+    def scaled(self, factor: float) -> "EndpointProfile":
+        """A profile with all time constants multiplied by ``factor``."""
+        return replace(
+            self,
+            rtt=self.rtt * factor,
+            setup=self.setup * factor,
+            service_time=self.service_time * factor,
+            per_row=self.per_row * factor,
+        )

@@ -1,0 +1,332 @@
+"""The four simulated service providers of the paper's scenario.
+
+Each provider publishes a WSDL document (real XML, parsed by
+:mod:`repro.services.wsdl`) and implements its operations against the
+synthetic :class:`~repro.services.geodata.GeoDatabase`:
+
+* **GeoPlaces** (codeBump PlaceLookup [3]): ``GetAllStates``,
+  ``GetPlacesWithin``
+* **TerraService** (TerraServer [17]): ``GetPlaceList``
+* **USZip** [19]: ``GetInfoByState``
+* **Zipcodes** (codeBump ZipCodeLookup [4]): ``GetPlacesInside``
+
+``invoke`` returns plain Python payloads; the broker encodes them through
+the WSDL output schema into XML and back (see :mod:`repro.services.soap`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.services.geodata import GeoDatabase
+from repro.util.errors import ServiceFault
+
+GEOPLACES_URI = "http://sim.codebump.com/services/PlaceLookup.wsdl"
+TERRASERVICE_URI = "http://sim.terraservice.net/TerraService.wsdl"
+USZIP_URI = "http://sim.webservicex.net/uszip.wsdl"
+ZIPCODES_URI = "http://sim.codebump.com/services/ZipCodeLookup.wsdl"
+
+_GEOPLACES_WSDL = """\
+<definitions name="PlaceLookup" targetNamespace="urn:sim:geoplaces">
+  <types>
+    <schema>
+      <element name="GetAllStates">
+        <complexType><sequence/></complexType>
+      </element>
+      <element name="GetAllStatesResponse">
+        <complexType><sequence>
+          <element name="GetAllStatesResult">
+            <complexType><sequence>
+              <element name="GeoPlaceDetails" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="Name" type="xsd:string"/>
+                  <element name="Type" type="xsd:string"/>
+                  <element name="State" type="xsd:string"/>
+                  <element name="LatDegrees" type="xsd:double"/>
+                  <element name="LonDegrees" type="xsd:double"/>
+                  <element name="LatRadians" type="xsd:double"/>
+                  <element name="LonRadians" type="xsd:double"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+      <element name="GetPlacesWithin">
+        <complexType><sequence>
+          <element name="place" type="xsd:string"/>
+          <element name="state" type="xsd:string"/>
+          <element name="distance" type="xsd:double"/>
+          <element name="placeTypeToFind" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="GetPlacesWithinResponse">
+        <complexType><sequence>
+          <element name="GetPlacesWithinResult">
+            <complexType><sequence>
+              <element name="GeoPlaceDistance" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="ToCity" type="xsd:string"/>
+                  <element name="ToState" type="xsd:string"/>
+                  <element name="Distance" type="xsd:double"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="GeoPlacesSoap">
+    <operation name="GetAllStates">
+      <input element="GetAllStates"/>
+      <output element="GetAllStatesResponse"/>
+    </operation>
+    <operation name="GetPlacesWithin">
+      <input element="GetPlacesWithin"/>
+      <output element="GetPlacesWithinResponse"/>
+    </operation>
+  </portType>
+  <service name="GeoPlaces">
+    <port name="GeoPlacesSoap"/>
+  </service>
+</definitions>
+"""
+
+_TERRASERVICE_WSDL = """\
+<definitions name="TerraService" targetNamespace="urn:sim:terraservice">
+  <types>
+    <schema>
+      <element name="GetPlaceList">
+        <complexType><sequence>
+          <element name="placeName" type="xsd:string"/>
+          <element name="MaxItems" type="xsd:int"/>
+          <element name="imagePresence" type="xsd:boolean"/>
+        </sequence></complexType>
+      </element>
+      <element name="GetPlaceListResponse">
+        <complexType><sequence>
+          <element name="GetPlaceListResult">
+            <complexType><sequence>
+              <element name="PlaceFacts" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="placename" type="xsd:string"/>
+                  <element name="state" type="xsd:string"/>
+                  <element name="country" type="xsd:string"/>
+                  <element name="placeLat" type="xsd:double"/>
+                  <element name="placeLon" type="xsd:double"/>
+                  <element name="availableThemeMask" type="xsd:int"/>
+                  <element name="placeTypeId" type="xsd:int"/>
+                  <element name="population" type="xsd:int"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="TerraServiceSoap">
+    <operation name="GetPlaceList">
+      <input element="GetPlaceList"/>
+      <output element="GetPlaceListResponse"/>
+    </operation>
+  </portType>
+  <service name="TerraService">
+    <port name="TerraServiceSoap"/>
+  </service>
+</definitions>
+"""
+
+_USZIP_WSDL = """\
+<definitions name="USZip" targetNamespace="urn:sim:uszip">
+  <types>
+    <schema>
+      <element name="GetInfoByState">
+        <complexType><sequence>
+          <element name="USState" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="GetInfoByStateResponse">
+        <complexType><sequence>
+          <element name="GetInfoByStateResult" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="USZipSoap">
+    <operation name="GetInfoByState">
+      <input element="GetInfoByState"/>
+      <output element="GetInfoByStateResponse"/>
+    </operation>
+  </portType>
+  <service name="USZip">
+    <port name="USZipSoap"/>
+  </service>
+</definitions>
+"""
+
+_ZIPCODES_WSDL = """\
+<definitions name="ZipCodeLookup" targetNamespace="urn:sim:zipcodes">
+  <types>
+    <schema>
+      <element name="GetPlacesInside">
+        <complexType><sequence>
+          <element name="zip" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="GetPlacesInsideResponse">
+        <complexType><sequence>
+          <element name="GetPlacesInsideResult">
+            <complexType><sequence>
+              <element name="GeoPlaceDistance" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="ToPlace" type="xsd:string"/>
+                  <element name="ToState" type="xsd:string"/>
+                  <element name="Distance" type="xsd:double"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="ZipCodesSoap">
+    <operation name="GetPlacesInside">
+      <input element="GetPlacesInside"/>
+      <output element="GetPlacesInsideResponse"/>
+    </operation>
+  </portType>
+  <service name="Zipcodes">
+    <port name="ZipCodesSoap"/>
+  </service>
+</definitions>
+"""
+
+_PLACE_TYPE_IDS = {"City": 32, "Locale": 64}
+
+
+class _Provider:
+    """Common shape: dispatch ``invoke`` to ``op_<OperationName>``."""
+
+    uri: str = ""
+    wsdl: str = ""
+
+    def __init__(self, geodata: GeoDatabase) -> None:
+        self.geodata = geodata
+
+    def wsdl_text(self) -> str:
+        return self.wsdl
+
+    def invoke(self, operation: str, arguments: list[Any]) -> Any:
+        handler = getattr(self, f"op_{operation}", None)
+        if handler is None:
+            raise ServiceFault(f"operation {operation!r} not implemented")
+        return handler(*arguments)
+
+
+class GeoPlacesProvider(_Provider):
+    """codeBump PlaceLookup: state directory and radius search."""
+
+    uri = GEOPLACES_URI
+    wsdl = _GEOPLACES_WSDL
+
+    def op_GetAllStates(self) -> dict:
+        details = [
+            {
+                "Name": state.name,
+                "Type": "State",
+                "State": state.name,
+                "LatDegrees": round(state.lat, 6),
+                "LonDegrees": round(state.lon, 6),
+                "LatRadians": round(state.lat * 0.0174532925, 8),
+                "LonRadians": round(state.lon * 0.0174532925, 8),
+            }
+            for state in self.geodata.all_states()
+        ]
+        return {"GetAllStatesResult": {"GeoPlaceDetails": details}}
+
+    def op_GetPlacesWithin(
+        self, place: str, state: str, distance: float, place_type_to_find: str
+    ) -> dict:
+        try:
+            abbreviation = self.geodata.state_named(state).abbreviation
+        except KeyError:
+            raise ServiceFault(f"unknown state {state!r}") from None
+        rows = [
+            {
+                "ToCity": found.name,
+                "ToState": found.state,
+                "Distance": round(dist, 2),
+            }
+            for found, dist in self.geodata.places_within(
+                place, abbreviation, distance, place_type_to_find
+            )
+        ]
+        return {"GetPlacesWithinResult": {"GeoPlaceDistance": rows}}
+
+
+class TerraServiceProvider(_Provider):
+    """Microsoft TerraServer: place directory lookup."""
+
+    uri = TERRASERVICE_URI
+    wsdl = _TERRASERVICE_WSDL
+
+    def op_GetPlaceList(
+        self, place_name: str, max_items: int, image_presence: bool
+    ) -> dict:
+        facts = [
+            {
+                "placename": place.name,
+                "state": place.state,
+                "country": "US",
+                "placeLat": round(place.lat, 6),
+                "placeLon": round(place.lon, 6),
+                "availableThemeMask": 7 if place.has_map else 0,
+                "placeTypeId": _PLACE_TYPE_IDS.get(place.place_type, 0),
+                "population": place.population,
+            }
+            for place in self.geodata.place_list(place_name, max_items, image_presence)
+        ]
+        return {"GetPlaceListResult": {"PlaceFacts": facts}}
+
+
+class USZipProvider(_Provider):
+    """USZip: all zip codes of a state as one comma-separated string."""
+
+    uri = USZIP_URI
+    wsdl = _USZIP_WSDL
+
+    def op_GetInfoByState(self, us_state: str) -> dict:
+        try:
+            codes = self.geodata.zipcodes_of(us_state)
+        except KeyError:
+            raise ServiceFault(f"unknown state {us_state!r}") from None
+        return {"GetInfoByStateResult": ",".join(codes)}
+
+
+class ZipcodesProvider(_Provider):
+    """codeBump ZipCodeLookup: places inside a zip-code area."""
+
+    uri = ZIPCODES_URI
+    wsdl = _ZIPCODES_WSDL
+
+    def op_GetPlacesInside(self, zip_code: str) -> dict:
+        rows = [
+            {
+                "ToPlace": place.name,
+                "ToState": place.state,
+                "Distance": round(dist, 2),
+            }
+            for place, dist in self.geodata.places_inside(zip_code)
+        ]
+        return {"GetPlacesInsideResult": {"GeoPlaceDistance": rows}}
+
+
+ALL_PROVIDERS = (
+    GeoPlacesProvider,
+    TerraServiceProvider,
+    USZipProvider,
+    ZipcodesProvider,
+)

@@ -1,0 +1,36 @@
+"""SQL front end.
+
+WSMED queries are expressed in SQL over the flattened OWF views (Figs 1
+and 3 of the paper).  This subpackage provides the lexer, AST and a
+recursive-descent parser for the dialect those queries use: single-block
+``SELECT .. FROM .. WHERE`` with table aliases, conjunctive predicates,
+comparison operators, string concatenation with ``+`` and typed literals.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_query
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "Comparison",
+    "Literal",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_query",
+]

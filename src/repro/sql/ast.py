@@ -1,0 +1,140 @@
+"""Abstract syntax tree of the SQL dialect, with a pretty-printer.
+
+Every node can render itself back to SQL via ``to_sql`` — used by
+``explain`` output and by parser round-trip tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.fdb.values import value_repr
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, number or boolean."""
+
+    value: Union[str, float, int, bool]
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return value_repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference, optionally qualified by a table alias."""
+
+    qualifier: str | None
+    name: str
+
+    def to_sql(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """An arithmetic/concatenation expression (only ``+`` in this dialect)."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+Expression = Union[Literal, ColumnRef, BinaryOp]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One WHERE conjunct: ``left <op> right``."""
+
+    op: str  # '=', '<', '>', '<=', '>=', '<>'
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list, optionally aliased."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        rendered = self.expression.to_sql()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause item: a view (OWF) name and its alias."""
+
+    name: str
+    alias: str
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias != self.name else self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: a column reference and its direction."""
+
+    column: ColumnRef
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.column.to_sql()}{'' if self.ascending else ' DESC'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single-block conjunctive query."""
+
+    select: tuple[SelectItem, ...] | Star
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Comparison, ...]
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+    def to_sql(self) -> str:
+        if isinstance(self.select, Star):
+            select_sql = "*"
+        else:
+            select_sql = ", ".join(item.to_sql() for item in self.select)
+        if self.distinct:
+            select_sql = "DISTINCT " + select_sql
+        sql = (
+            f"SELECT {select_sql} FROM "
+            + ", ".join(table.to_sql() for table in self.tables)
+        )
+        if self.predicates:
+            sql += " WHERE " + " AND ".join(p.to_sql() for p in self.predicates)
+        if self.order_by:
+            sql += " ORDER BY " + ", ".join(item.to_sql() for item in self.order_by)
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql
+
+    def alias_map(self) -> dict[str, str]:
+        """alias -> view name (aliases are case-sensitive, names are not)."""
+        return {table.alias: table.name for table in self.tables}

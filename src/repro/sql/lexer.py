@@ -1,0 +1,146 @@
+"""Tokenizer for the WSMED SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "AS", "TRUE", "FALSE", "NOT",
+        "DISTINCT", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    }
+)
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", ",", ".", "(", ")", "*")
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == symbol
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``, ending with a single END token.
+
+    String literals use single quotes with ``''`` as the escape for a
+    literal quote.  Keywords are recognized case-insensitively and stored
+    upper-case; identifiers keep their original spelling.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", index):  # SQL line comment
+            end = text.find("\n", index)
+            advance((end if end != -1 else length) - index)
+            continue
+        start_line, start_column = line, column
+        if char == "'":
+            value_chars: list[str] = []
+            advance(1)
+            while True:
+                if index >= length:
+                    raise ParseError(
+                        "unterminated string literal", start_line, start_column
+                    )
+                if text[index] == "'":
+                    if index + 1 < length and text[index + 1] == "'":
+                        value_chars.append("'")
+                        advance(2)
+                        continue
+                    advance(1)
+                    break
+                value_chars.append(text[index])
+                advance(1)
+            tokens.append(
+                Token(TokenKind.STRING, "".join(value_chars), start_line, start_column)
+            )
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # A trailing dot followed by a letter is qualification
+                    # (unreachable for numbers, kept for safety).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            number = text[index:end]
+            advance(end - index)
+            tokens.append(Token(TokenKind.NUMBER, number, start_line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            advance(end - index)
+            if word.upper() in KEYWORDS:
+                tokens.append(
+                    Token(TokenKind.KEYWORD, word.upper(), start_line, start_column)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.IDENTIFIER, word, start_line, start_column)
+                )
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                advance(len(symbol))
+                canonical = "<>" if symbol == "!=" else symbol
+                tokens.append(
+                    Token(TokenKind.SYMBOL, canonical, start_line, start_column)
+                )
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token(TokenKind.END, "", line, column))
+    return tokens

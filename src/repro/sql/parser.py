@@ -1,0 +1,230 @@
+"""Recursive-descent parser for the WSMED SQL dialect.
+
+Grammar (conjunctive single-block queries, as in the paper's Figs 1/3)::
+
+    query       := SELECT [DISTINCT] select_list FROM table_list
+                   [WHERE conjunction] [ORDER BY order_list] [LIMIT number]
+    select_list := '*' | select_item (',' select_item)*
+    order_list  := column_ref [ASC|DESC] (',' column_ref [ASC|DESC])*
+    select_item := expression [AS identifier | identifier]
+    table_list  := table_ref (',' table_ref)*
+    table_ref   := identifier [identifier]          -- name plus alias
+    conjunction := comparison (AND comparison)*
+    comparison  := expression op expression         -- op in = < > <= >= <>
+    expression  := term ('+' term)*
+    term        := literal | column_ref | '(' expression ')'
+    column_ref  := identifier ['.' identifier]
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.util.errors import ParseError
+
+_COMPARISON_OPS = ("=", "<=", ">=", "<>", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current
+        found = token.text or "end of query"
+        return ParseError(f"{message}, found {found!r}", token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        self._advance()
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        self._advance()
+
+    def _expect_identifier(self, what: str) -> str:
+        if self._current.kind is not TokenKind.IDENTIFIER:
+            raise self._error(f"expected {what}")
+        return self._advance().text
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._current.is_keyword("DISTINCT"):
+            self._advance()
+            distinct = True
+        select = self._select_list()
+        self._expect_keyword("FROM")
+        tables = self._table_list()
+        predicates: tuple[Comparison, ...] = ()
+        if self._current.is_keyword("WHERE"):
+            self._advance()
+            predicates = self._conjunction()
+        order_by = self._order_by()
+        limit = self._limit()
+        if self._current.kind is not TokenKind.END:
+            raise self._error("unexpected trailing input")
+        return Query(
+            select=select,
+            tables=tables,
+            predicates=predicates,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _order_by(self) -> tuple[OrderItem, ...]:
+        if not self._current.is_keyword("ORDER"):
+            return ()
+        self._advance()
+        self._expect_keyword("BY")
+        items = [self._order_item()]
+        while self._current.is_symbol(","):
+            self._advance()
+            items.append(self._order_item())
+        return tuple(items)
+
+    def _order_item(self) -> OrderItem:
+        expression = self._term()
+        if not isinstance(expression, ColumnRef):
+            raise self._error("ORDER BY expects a column reference")
+        ascending = True
+        if self._current.is_keyword("ASC"):
+            self._advance()
+        elif self._current.is_keyword("DESC"):
+            self._advance()
+            ascending = False
+        return OrderItem(expression, ascending)
+
+    def _limit(self) -> int | None:
+        if not self._current.is_keyword("LIMIT"):
+            return None
+        self._advance()
+        token = self._current
+        if token.kind is not TokenKind.NUMBER or "." in token.text:
+            raise self._error("LIMIT expects an integer")
+        self._advance()
+        value = int(token.text)
+        if value < 0:
+            raise self._error("LIMIT must be non-negative")
+        return value
+
+    def _select_list(self):
+        if self._current.is_symbol("*"):
+            self._advance()
+            return Star()
+        items = [self._select_item()]
+        while self._current.is_symbol(","):
+            self._advance()
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        expression = self._expression()
+        alias = None
+        if self._current.is_keyword("AS"):
+            self._advance()
+            alias = self._expect_identifier("alias after AS")
+        elif self._current.kind is TokenKind.IDENTIFIER:
+            alias = self._advance().text
+        return SelectItem(expression, alias)
+
+    def _table_list(self) -> tuple[TableRef, ...]:
+        tables = [self._table_ref()]
+        while self._current.is_symbol(","):
+            self._advance()
+            tables.append(self._table_ref())
+        return tuple(tables)
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect_identifier("view name")
+        alias = name
+        if self._current.kind is TokenKind.IDENTIFIER:
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    def _conjunction(self) -> tuple[Comparison, ...]:
+        comparisons = [self._comparison()]
+        while self._current.is_keyword("AND"):
+            self._advance()
+            comparisons.append(self._comparison())
+        return tuple(comparisons)
+
+    def _comparison(self) -> Comparison:
+        left = self._expression()
+        token = self._current
+        if token.kind is not TokenKind.SYMBOL or token.text not in _COMPARISON_OPS:
+            raise self._error("expected a comparison operator")
+        self._advance()
+        right = self._expression()
+        return Comparison(token.text, left, right)
+
+    def _expression(self) -> Expression:
+        expression = self._term()
+        while self._current.is_symbol("+"):
+            self._advance()
+            expression = BinaryOp("+", expression, self._term())
+        return expression
+
+    def _term(self) -> Expression:
+        token = self._current
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._expression()
+            self._expect_symbol(")")
+            return inner
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.kind is TokenKind.IDENTIFIER:
+            first = self._advance().text
+            if self._current.is_symbol("."):
+                self._advance()
+                second = self._expect_identifier("column name after '.'")
+                return ColumnRef(first, second)
+            return ColumnRef(None, first)
+        raise self._error("expected an expression")
+
+
+def parse_query(text: str) -> Query:
+    """Parse SQL ``text`` into a :class:`~repro.sql.ast.Query`."""
+    return _Parser(tokenize(text)).parse()

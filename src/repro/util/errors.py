@@ -1,0 +1,76 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Subpackages raise the
+narrower types below; nothing in the library raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """Raised by the SQL front end on malformed query text.
+
+    Carries the position of the offending token so callers can point at it.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line or column:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class CalculusError(ReproError):
+    """Raised when a SQL AST cannot be translated to conjunctive calculus."""
+
+
+class BindingError(CalculusError):
+    """Raised when no predicate ordering satisfies the binding patterns.
+
+    This corresponds to the limited-access-pattern restriction of the paper:
+    the input values of every operation wrapper function must be derivable
+    from constants or from the outputs of earlier predicates.
+    """
+
+
+class PlanError(ReproError):
+    """Raised for malformed algebra plans or invalid plan rewrites."""
+
+
+class KernelError(ReproError):
+    """Raised by an execution kernel for misuse of runtime primitives."""
+
+
+class DeadlockError(KernelError):
+    """Raised by the simulated kernel when no task can make progress.
+
+    The message lists the parked tasks so a protocol bug in an operator is
+    immediately diagnosable instead of hanging a test run.
+    """
+
+
+class WsdlError(ReproError):
+    """Raised when a WSDL document is malformed or references unknown types."""
+
+
+class UnknownServiceError(ReproError):
+    """Raised when a call names a service or operation that is not registered."""
+
+
+class ServiceFault(ReproError):
+    """A fault returned by a (simulated) web service endpoint.
+
+    Mirrors a SOAP fault: the caller gets a structured error rather than a
+    transport failure.  ``retriable`` tells the invoker whether a retry may
+    succeed (used by fault-injection tests).
+    """
+
+    def __init__(self, message: str, *, retriable: bool = False) -> None:
+        self.retriable = retriable
+        super().__init__(message)

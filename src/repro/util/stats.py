@@ -1,0 +1,90 @@
+"""Small statistics helpers used by monitoring and benchmark reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunningStat:
+    """Count / sum / min / max / mean over a stream of samples.
+
+    Used by ``AFF_APPLYP`` monitoring cycles and by per-endpoint broker
+    statistics, where only cheap aggregates are needed.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples seen so far; 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another stat into this one (used to aggregate per-child stats)."""
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+@dataclass
+class Welford:
+    """Numerically stable streaming mean/variance (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance; 0.0 with fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def quantile(samples: list[float], q: float) -> float:
+    """Linear-interpolation quantile of ``samples`` (q in [0, 1]).
+
+    Raises ``ValueError`` on an empty list or out-of-range ``q`` so callers
+    never silently report a quantile of nothing.
+    """
+    if not samples:
+        raise ValueError("quantile of empty sample list")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight

@@ -1,0 +1,111 @@
+"""Query results with execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.fdb.values import Bag
+from repro.parallel.tree import TreeStats
+from repro.services.broker import CallStats
+from repro.util.trace import TraceLog
+
+
+@dataclass
+class QueryResult:
+    """Everything one query execution produced.
+
+    ``elapsed`` is in *model seconds* — under the simulated kernel that is
+    the virtual clock the paper's wall-clock measurements correspond to.
+    """
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    elapsed: float
+    mode: str
+    total_calls: int
+    call_stats: dict[str, CallStats] = field(default_factory=dict)
+    trace: TraceLog = field(default_factory=TraceLog)
+    tree: TreeStats = field(default_factory=TreeStats)
+    plan_text: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def as_bag(self) -> Bag:
+        """Order-insensitive view for comparing parallel to central runs."""
+        return Bag(self.rows)
+
+    def calls(self, operation: str) -> int:
+        stats = self.call_stats.get(operation)
+        return stats.calls if stats else 0
+
+    def to_json(self) -> str:
+        """Serialize the result and its statistics for external tooling."""
+        import json
+
+        payload = {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "elapsed_model_seconds": self.elapsed,
+            "mode": self.mode,
+            "total_calls": self.total_calls,
+            "operations": {
+                name: {
+                    "calls": stats.calls,
+                    "rows": stats.rows,
+                    "bytes": stats.bytes_transferred,
+                    "mean_total_time": stats.total_time.mean,
+                    "mean_queue_wait": stats.queue_wait.mean,
+                }
+                for name, stats in sorted(self.call_stats.items())
+            },
+            "tree": {
+                "processes_spawned": self.tree.processes_spawned,
+                "processes_dropped": self.tree.processes_dropped,
+                "add_stages": self.tree.add_stages,
+                "drop_stages": self.tree.drop_stages,
+                "average_fanouts": self.tree.average_fanouts(),
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    def process_tree(self) -> str:
+        """ASCII rendering of the process tree this execution built."""
+        from repro.parallel.visualize import render_process_tree
+
+        return render_process_tree(self.trace)
+
+    def utilization(self, top: int = 12) -> str:
+        """Text report of the busiest query processes."""
+        from repro.parallel.visualize import render_utilization
+
+        return render_utilization(self.trace, top=top)
+
+    def summary(self) -> str:
+        """One-paragraph execution report for interactive use."""
+        lines = [
+            f"{len(self.rows)} rows in {self.elapsed:.2f} model seconds "
+            f"({self.mode} mode, {self.total_calls} web service calls)",
+        ]
+        for operation in sorted(self.call_stats):
+            stats = self.call_stats[operation]
+            lines.append(
+                f"  {operation}: {stats.calls} calls, "
+                f"mean {stats.total_time.mean:.3f}s, "
+                f"queue {stats.queue_wait.mean:.3f}s"
+            )
+        if self.tree.processes_spawned:
+            lines.append(
+                f"  process tree: {self.tree.processes_spawned} spawned, "
+                f"{self.tree.processes_dropped} dropped, "
+                f"avg fanouts {['%.1f' % f for f in self.tree.average_fanouts()]}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,329 @@
+"""The WSMED system facade.
+
+Typical use::
+
+    from repro import WSMED
+
+    wsmed = WSMED(profile="paper")
+    wsmed.import_all()                     # read WSDLs, generate OWF views
+    result = wsmed.sql(QUERY2, mode="adaptive")
+    print(result.summary())
+
+Execution modes (Sec. V of the paper):
+
+``central``
+    The naive sequential plan (Figs 6/10); every web-service call in
+    sequence.
+``parallel``
+    The plan rewritten with ``FF_APPLYP`` for a manually chosen fanout
+    vector (Figs 9/13) — ``fanouts=[5, 4]`` is the paper's best Query1
+    tree; a 0 entry fuses levels into a flat tree (Fig 14).
+``adaptive``
+    ``AFF_APPLYP``: starts from a binary tree and adapts each process's
+    subtree at run time (Sec. V.A).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.algebra.central import create_central_plan
+from repro.algebra.cost import CostModel, estimate_plan
+from repro.algebra.explain import render_plan
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import AdaptationParams, PlanNode
+from repro.calculus.generator import generate_calculus
+from repro.fdb.catalog import Catalog
+from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
+from repro.fdb.types import CHARSTRING, TupleType
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.parallelizer import parallelize
+from repro.parallel.tree import tree_stats_from_trace
+from repro.runtime.base import Kernel
+from repro.runtime.simulated import SimKernel
+from repro.services.registry import ServiceRegistry, build_registry
+from repro.sql.parser import parse_query
+from repro.util.errors import PlanError
+from repro.wsmed.owf import generate_owf
+from repro.wsmed.results import QueryResult
+from repro.wsmed.views import render_view
+
+
+class ExecutionMode(enum.Enum):
+    CENTRAL = "central"
+    PARALLEL = "parallel"
+    ADAPTIVE = "adaptive"
+
+    @staticmethod
+    def of(value: "ExecutionMode | str") -> "ExecutionMode":
+        if isinstance(value, ExecutionMode):
+            return value
+        try:
+            return ExecutionMode(value)
+        except ValueError:
+            raise PlanError(
+                f"unknown execution mode {value!r}; "
+                "use central, parallel or adaptive"
+            ) from None
+
+
+def _default_costs(profile: str) -> ProcessCosts:
+    costs = ProcessCosts()
+    return costs.scaled(0.01) if profile == "fast" else costs
+
+
+class WSMED:
+    """The mediator: WSDL import, view generation, query execution."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry | None = None,
+        *,
+        profile: str = "paper",
+        seed: int = 2009,
+        process_costs: ProcessCosts | None = None,
+    ) -> None:
+        self.registry = registry or build_registry(profile, seed=seed)
+        self.seed = seed
+        self.process_costs = process_costs or _default_costs(profile)
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self._wrappers: dict[str, object] = {}
+        # The paper's helping function (Sec. II.B) ships with the system.
+        self.register_helping_function(
+            helping_function(
+                "getzipcode",
+                [("zipstr", CHARSTRING)],
+                TupleType((("zipcode", CHARSTRING),)),
+                lambda zipstr: [(code,) for code in zipstr.split(",") if code],
+                documentation=(
+                    "Extracts the set of zip codes from a comma-separated string."
+                ),
+            )
+        )
+        self._register_catalog_views()
+
+    def _register_catalog_views(self) -> None:
+        """Expose the WSMED local database (Sec. III) as queryable views.
+
+        ``SELECT * FROM ws_operations`` etc. work like any other view —
+        the mediator's metadata is data.
+        """
+        from repro.fdb.types import INTEGER
+
+        for view_name, table, columns in (
+            (
+                "ws_services",
+                self.catalog.services,
+                (("uri", CHARSTRING), ("service", CHARSTRING), ("port", CHARSTRING)),
+            ),
+            (
+                "ws_operations",
+                self.catalog.operations,
+                (
+                    ("uri", CHARSTRING),
+                    ("service", CHARSTRING),
+                    ("operation", CHARSTRING),
+                    ("owf", CHARSTRING),
+                ),
+            ),
+            (
+                "ws_parameters",
+                self.catalog.parameters,
+                (
+                    ("owf", CHARSTRING),
+                    ("position", INTEGER),
+                    ("name", CHARSTRING),
+                    ("type", CHARSTRING),
+                ),
+            ),
+            (
+                "ws_result_columns",
+                self.catalog.result_columns,
+                (
+                    ("owf", CHARSTRING),
+                    ("position", INTEGER),
+                    ("name", CHARSTRING),
+                    ("type", CHARSTRING),
+                ),
+            ),
+        ):
+            self.register_helping_function(
+                helping_function(
+                    view_name,
+                    [],
+                    TupleType(columns),
+                    (lambda table=table: list(table.scan())),
+                    documentation=f"WSMED catalog table {view_name}",
+                )
+            )
+
+    # -- metadata import --------------------------------------------------------
+
+    def import_wsdl(self, uri: str) -> list[str]:
+        """Import one WSDL document: catalog metadata + OWF views.
+
+        Returns the names of the generated OWFs.  Re-importing replaces
+        the previous definitions.
+        """
+        document = self.registry.document(uri)
+        self.catalog.record_service(uri, document.service_name, document.port_name)
+        generated = []
+        for operation_name in document.operations:
+            wrapper = generate_owf(document, operation_name)
+            function = wrapper.as_function()
+            self.functions.replace(function)
+            self._wrappers[function.name.lower()] = wrapper
+            self.catalog.record_operation(
+                uri,
+                document.service_name,
+                operation_name,
+                function.name,
+                parameters=[(n, str(t)) for n, t in wrapper.parameters],
+                result_columns=[(n, str(t)) for n, t in wrapper.result_columns],
+            )
+            generated.append(function.name)
+        return generated
+
+    def import_all(self) -> list[str]:
+        """Import every WSDL the registry publishes."""
+        generated = []
+        for uri in self.registry.wsdl_uris():
+            generated.extend(self.import_wsdl(uri))
+        return generated
+
+    def register_helping_function(self, function: FunctionDef) -> None:
+        self.functions.replace(function)
+
+    # -- introspection -------------------------------------------------------------
+
+    def owf_source(self, name: str) -> str:
+        """AmosQL-style source of a generated OWF (like the paper's Fig 2)."""
+        wrapper = self._wrappers.get(name.lower())
+        if wrapper is None:
+            raise PlanError(f"no generated OWF named {name!r}")
+        return wrapper.render_source()
+
+    def views(self) -> str:
+        """Render all registered views."""
+        return "\n\n".join(
+            render_view(function) for function in self.functions.all()
+        )
+
+    # -- planning ---------------------------------------------------------------------
+
+    def plan(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
+        fanouts: list[int] | None = None,
+        adaptation: AdaptationParams | None = None,
+        name: str = "Query",
+    ) -> PlanNode:
+        """Compile SQL down to an executable plan for the given mode."""
+        mode = ExecutionMode.of(mode)
+        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
+        central = create_central_plan(calculus, self.functions)
+        if mode is ExecutionMode.CENTRAL:
+            return central
+        if mode is ExecutionMode.PARALLEL:
+            if fanouts is None:
+                raise PlanError("parallel mode requires a fanout vector")
+            return parallelize(central, self.functions, fanouts=fanouts)
+        return parallelize(
+            central,
+            self.functions,
+            adaptation=adaptation or AdaptationParams(),
+        )
+
+    def explain(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
+        fanouts: list[int] | None = None,
+        adaptation: AdaptationParams | None = None,
+        name: str = "Query",
+    ) -> str:
+        """Calculus, plan tree and cost estimate as a report."""
+        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
+        plan = self.plan(
+            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
+        )
+        model = CostModel(call_costs=self._profile_call_costs())
+        estimate = estimate_plan(plan, self.functions, model)
+        sections = [
+            "-- calculus --",
+            calculus.to_text(),
+            "",
+            "-- plan --",
+            render_plan(plan),
+            "",
+            "-- estimate --",
+            f"web service calls: "
+            + ", ".join(f"{op}={calls:.0f}" for op, calls in sorted(estimate.calls.items())),
+            f"sequential time: ~{estimate.sequential_time:.1f} s",
+        ]
+        return "\n".join(sections)
+
+    def _profile_call_costs(self) -> dict[str, float]:
+        costs = {}
+        for service_costs in self.registry.costs.values():
+            for operation, profile in service_costs.operations.items():
+                costs[operation] = profile.sequential_call_time()
+        return costs
+
+    # -- execution -----------------------------------------------------------------------
+
+    def sql(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
+        fanouts: list[int] | None = None,
+        adaptation: AdaptationParams | None = None,
+        kernel: Kernel | None = None,
+        fault_rate: float = 0.0,
+        retries: int = 0,
+        name: str = "Query",
+    ) -> QueryResult:
+        """Run a SQL query and return rows plus execution statistics.
+
+        ``kernel`` defaults to a fresh simulated kernel (virtual time);
+        pass an :class:`~repro.runtime.realtime.AsyncioKernel` to execute
+        with real concurrency.  ``retries`` retries retriable service
+        faults per call before giving up.
+        """
+        mode = ExecutionMode.of(mode)
+        plan = self.plan(
+            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
+        )
+        kernel = kernel or SimKernel()
+        broker = self.registry.bind(kernel, seed=self.seed, fault_rate=fault_rate)
+        ctx = ExecutionContext(
+            kernel=kernel,
+            broker=broker,
+            functions=self.functions,
+            retries=retries,
+        )
+        executor = ParallelExecutor(ctx, self.process_costs)
+
+        async def timed() -> tuple[list[tuple], float]:
+            started = kernel.now()
+            rows = await executor.execute(plan)
+            return rows, kernel.now() - started
+
+        rows, elapsed = kernel.run(timed())
+        return QueryResult(
+            columns=plan.schema,
+            rows=rows,
+            elapsed=elapsed,
+            mode=mode.value,
+            total_calls=broker.total_calls(),
+            call_stats=broker.all_stats(),
+            trace=ctx.trace,
+            tree=tree_stats_from_trace(ctx.trace),
+            plan_text=render_plan(plan),
+        )

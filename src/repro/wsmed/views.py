@@ -1,0 +1,39 @@
+"""Flattened SQL views over OWFs.
+
+WSMED exposes every OWF as a flat SQL view whose columns are the
+operation's *input parameters* followed by its flattened *result columns*;
+queries bind the input columns with equality predicates (Sec. II.A's
+restriction that OWF input values must be known in the query).
+"""
+
+from __future__ import annotations
+
+from repro.fdb.functions import FunctionDef, FunctionKind
+
+
+def view_columns(function: FunctionDef) -> list[tuple[str, str, str]]:
+    """The view's columns: (name, type, role) with role input/output."""
+    columns = [
+        (parameter.name, str(parameter.type), "input")
+        for parameter in function.parameters
+    ]
+    columns.extend(
+        (name, str(atom), "output") for name, atom in function.result.columns
+    )
+    return columns
+
+
+def render_view(function: FunctionDef) -> str:
+    """CREATE VIEW-style description of one OWF view."""
+    kind = "web service view" if function.kind is FunctionKind.OWF else "function view"
+    lines = [f"-- {kind} {function.name}"]
+    lines.append(f"CREATE VIEW {function.name} (")
+    rendered = [
+        f"    {name} {type_name} -- {role}"
+        for name, type_name, role in view_columns(function)
+    ]
+    lines.append(",\n".join(rendered))
+    lines.append(")")
+    if function.documentation:
+        lines.append(f"-- {function.documentation}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Tests for plan node construction rules and dict (de)serialization.
+
+Serialization matters beyond persistence: it is the code-shipping format
+``FF_APPLYP`` sends to child query processes, so a round-trip must preserve
+semantics exactly.
+"""
+
+import pytest
+
+from repro.algebra.expressions import (
+    ColExpr,
+    ConcatExpr,
+    ConstExpr,
+    compile_expr,
+    expr_from_dict,
+    expr_to_dict,
+)
+from repro.algebra.plan import (
+    AdaptationParams,
+    AFFApplyNode,
+    ApplyNode,
+    FFApplyNode,
+    FilterNode,
+    MapNode,
+    ParamNode,
+    PlanFunction,
+    ProjectNode,
+    SingletonNode,
+    plan_from_dict,
+)
+from repro.util.errors import PlanError
+
+from tests.helpers import QUERY1_SQL, QUERY2_SQL, make_world
+
+
+def test_expr_compile_const_col_concat() -> None:
+    schema = ("a", "b")
+    assert compile_expr(ConstExpr(7), schema)(("x", "y")) == 7
+    assert compile_expr(ColExpr("b"), schema)(("x", "y")) == "y"
+    concat = ConcatExpr((ColExpr("a"), ConstExpr(", "), ColExpr("b")))
+    assert compile_expr(concat, schema)(("Atlanta", "GA")) == "Atlanta, GA"
+
+
+def test_expr_unknown_column_raises() -> None:
+    with pytest.raises(PlanError, match="not in the input schema"):
+        compile_expr(ColExpr("missing"), ("a",))
+
+
+def test_expr_serialization_roundtrip() -> None:
+    expr = ConcatExpr((ColExpr("city"), ConstExpr(", "), ColExpr("st")))
+    assert expr_from_dict(expr_to_dict(expr)) == expr
+
+
+def test_apply_schema_concatenates() -> None:
+    node = ApplyNode(
+        child=ParamNode(schema=("x",)),
+        function="f",
+        arguments=(ColExpr("x"),),
+        out_columns=("y", "z"),
+    )
+    assert node.schema == ("x", "y", "z")
+
+
+def test_apply_duplicate_column_rejected() -> None:
+    with pytest.raises(PlanError, match="duplicate"):
+        ApplyNode(
+            child=ParamNode(schema=("x",)),
+            function="f",
+            arguments=(),
+            out_columns=("x",),
+        )
+
+
+def test_filter_unknown_op_rejected() -> None:
+    with pytest.raises(PlanError, match="operator"):
+        FilterNode(SingletonNode(), "~", ConstExpr(1), ConstExpr(1))
+
+
+def test_project_duplicate_name_rejected() -> None:
+    with pytest.raises(PlanError, match="duplicate"):
+        ProjectNode(SingletonNode(), (("a", ConstExpr(1)), ("a", ConstExpr(2))))
+
+
+def test_map_duplicate_column_rejected() -> None:
+    with pytest.raises(PlanError):
+        MapNode(ParamNode(schema=("x",)), ConstExpr(1), "x")
+
+
+def test_ff_apply_schema_mismatch_rejected() -> None:
+    pf = PlanFunction("PF1", ("a",), ParamNode(schema=("a",)))
+    with pytest.raises(PlanError, match="does not match"):
+        FFApplyNode(child=ParamNode(schema=("b",)), plan_function=pf, fanout=2)
+
+
+def test_ff_apply_fanout_validated() -> None:
+    pf = PlanFunction("PF1", ("a",), ParamNode(schema=("a",)))
+    with pytest.raises(PlanError, match="fanout"):
+        FFApplyNode(child=ParamNode(schema=("a",)), plan_function=pf, fanout=0)
+
+
+def test_adaptation_params_validation() -> None:
+    with pytest.raises(PlanError):
+        AdaptationParams(p=0)
+    with pytest.raises(PlanError):
+        AdaptationParams(threshold=0.0)
+    roundtrip = AdaptationParams.from_dict(AdaptationParams(p=3).to_dict())
+    assert roundtrip.p == 3
+
+
+def test_central_plan_roundtrips_through_dict() -> None:
+    world = make_world()
+    for sql in (QUERY1_SQL, QUERY2_SQL):
+        plan = world.central_plan(sql)
+        restored = plan_from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.schema == plan.schema
+
+
+def test_plan_function_roundtrip() -> None:
+    body = ApplyNode(
+        child=ParamNode(schema=("st1",)),
+        function="GetInfoByState",
+        arguments=(ColExpr("st1"),),
+        out_columns=("zstr",),
+    )
+    pf = PlanFunction("PF3", ("st1",), body)
+    restored = PlanFunction.from_dict(pf.to_dict())
+    assert restored.signature() == pf.signature()
+    assert restored.result_schema == ("st1", "zstr")
+
+
+def test_aff_node_roundtrip() -> None:
+    pf = PlanFunction("PF1", ("a",), ParamNode(schema=("a",)))
+    node = AFFApplyNode(
+        child=ParamNode(schema=("a",)),
+        plan_function=pf,
+        params=AdaptationParams(p=2, drop_stage=True),
+    )
+    restored = plan_from_dict(node.to_dict())
+    assert isinstance(restored, AFFApplyNode)
+    assert restored.params.drop_stage is True
+
+
+def test_plan_from_dict_unknown_kind() -> None:
+    with pytest.raises(PlanError):
+        plan_from_dict({"kind": "teleport"})

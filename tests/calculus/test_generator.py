@@ -1,0 +1,171 @@
+"""Tests for the calculus generator and binding analysis."""
+
+import pytest
+
+from repro.calculus.expressions import Concat, Const, Var
+from repro.sql.parser import parse_query
+from repro.calculus.generator import generate_calculus
+from repro.util.errors import BindingError, CalculusError
+
+from tests.helpers import QUERY1_SQL, QUERY2_SQL, make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world()
+
+
+def test_query1_predicates(world) -> None:
+    calculus = world.calculus(QUERY1_SQL, "Query1")
+    functions = [p.function for p in calculus.function_predicates()]
+    assert functions == ["GetAllStates", "GetPlacesWithin", "GetPlaceList"]
+    assert calculus.filter_predicates() == []
+
+
+def test_query1_binding_of_places_within(world) -> None:
+    calculus = world.calculus(QUERY1_SQL, "Query1")
+    gp = calculus.function_predicates()[1]
+    # Signature order: place, state, distance, placeTypeToFind.
+    assert gp.arguments == (
+        Const("Atlanta"),
+        Var("gs_State"),
+        Const(15.0),
+        Const("City"),
+    )
+
+
+def test_query1_concat_binding_and_boolean_coercion(world) -> None:
+    calculus = world.calculus(QUERY1_SQL, "Query1")
+    gl = calculus.function_predicates()[2]
+    place_name, max_items, image_presence = gl.arguments
+    assert place_name == Concat((Var("gp_ToCity"), Const(", "), Var("gp_ToState")))
+    assert max_items == Const(100)
+    # 'true' bound to a boolean parameter coerces, as WSMED accepts.
+    assert image_presence == Const(True)
+
+
+def test_query1_case_sensitive_column_resolution(world) -> None:
+    # gl.placeName (input) and gl.placename (output) must resolve to
+    # different columns by exact-case preference.
+    calculus = world.calculus(QUERY1_SQL, "Query1")
+    head_names = [item.name for item in calculus.head]
+    assert head_names == ["placename", "state"]
+    assert calculus.head[0].expression == Var("gl_placename")
+
+
+def test_query2_chain(world) -> None:
+    calculus = world.calculus(QUERY2_SQL, "Query2")
+    predicates = calculus.function_predicates()
+    assert [p.function for p in predicates] == [
+        "GetAllStates",
+        "GetInfoByState",
+        "getzipcode",
+        "GetPlacesInside",
+    ]
+    assert predicates[1].arguments == (Var("gs_State"),)
+    assert predicates[2].arguments == (Var("gi_GetInfoByStateResult"),)
+    assert predicates[3].arguments == (Var("gc_zipcode"),)
+
+
+def test_query2_head_projects_input_binding(world) -> None:
+    # gp.zip is an *input* of GetPlacesInside; selecting it projects the
+    # expression that binds it (gc_zipcode).
+    calculus = world.calculus(QUERY2_SQL, "Query2")
+    assert calculus.head[1].name == "zip"
+    assert calculus.head[1].expression == Var("gc_zipcode")
+
+
+def test_query2_filter_kept(world) -> None:
+    calculus = world.calculus(QUERY2_SQL, "Query2")
+    filters = calculus.filter_predicates()
+    assert len(filters) == 1
+    assert filters[0].left == Var("gp_ToPlace")
+    assert filters[0].right == Const("USAF Academy")
+
+
+def test_to_text_is_datalog_style(world) -> None:
+    text = world.calculus(QUERY2_SQL, "Query2").to_text()
+    assert text.startswith("Query2(")
+    assert "GetInfoByState(gs_State)" in text
+    assert " AND" in text
+
+
+def test_unbound_input_raises(world) -> None:
+    sql = "SELECT gi.GetInfoByStateResult FROM GetInfoByState gi"
+    with pytest.raises(BindingError, match="USState"):
+        world.calculus(sql)
+
+
+def test_circular_binding_raises(world) -> None:
+    sql = (
+        "SELECT gp.ToState FROM GetPlacesInside gp, GetInfoByState gi "
+        "WHERE gp.zip = gi.USState AND gi.USState = gp.zip"
+    )
+    with pytest.raises(BindingError):
+        world.calculus(sql)
+
+
+def test_unknown_view_raises(world) -> None:
+    with pytest.raises(Exception, match="GetWeather"):
+        world.calculus("SELECT a FROM GetWeather w")
+
+
+def test_unknown_alias_raises(world) -> None:
+    with pytest.raises(CalculusError, match="alias"):
+        world.calculus("SELECT zz.State FROM GetAllStates gs")
+
+
+def test_unknown_column_lists_available(world) -> None:
+    with pytest.raises(CalculusError, match="columns:"):
+        world.calculus("SELECT gs.Statee FROM GetAllStates gs")
+
+
+def test_duplicate_alias_raises(world) -> None:
+    with pytest.raises(CalculusError, match="duplicate"):
+        world.calculus("SELECT a FROM GetAllStates gs, GetAllStates gs")
+
+
+def test_unqualified_unique_column_resolves(world) -> None:
+    calculus = world.calculus("SELECT USState FROM GetInfoByState, GetAllStates "
+                              "WHERE USState = State")
+    assert calculus.head[0].expression == Var("GetAllStates_State")
+
+
+def test_unqualified_ambiguous_column_raises(world) -> None:
+    with pytest.raises(CalculusError, match="ambiguous"):
+        world.calculus(
+            "SELECT ToState FROM GetPlacesInside gp, GetPlacesWithin gw "
+            "WHERE gp.zip='1' AND gw.place='x' AND gw.state='Ohio' "
+            "AND gw.distance=1 AND gw.placeTypeToFind='City'"
+        )
+
+
+def test_output_equals_constant_is_filter(world) -> None:
+    calculus = world.calculus(
+        "SELECT gs.Name FROM GetAllStates gs WHERE gs.State = 'Ohio'"
+    )
+    assert len(calculus.filter_predicates()) == 1
+
+
+def test_rebinding_same_input_becomes_filter(world) -> None:
+    sql = (
+        "SELECT gi.GetInfoByStateResult FROM GetAllStates gs, GetInfoByState gi "
+        "WHERE gi.USState = gs.State AND gi.USState = gs.Name"
+    )
+    calculus = world.calculus(sql)
+    assert len(calculus.filter_predicates()) == 1
+
+
+def test_select_star(world) -> None:
+    calculus = world.calculus("SELECT * FROM GetAllStates gs")
+    assert [item.name for item in calculus.head] == [
+        "Name", "Type", "State", "LatDegrees", "LonDegrees",
+        "LatRadians", "LonRadians",
+    ]
+
+
+def test_star_excludes_inputs(world) -> None:
+    calculus = world.calculus(
+        "SELECT * FROM GetInfoByState gi WHERE gi.USState = 'Ohio'"
+    )
+    assert [item.name for item in calculus.head] == ["GetInfoByStateResult"]

@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples use the paper profile (virtual time), so even the 5000-call
+Query2 example finishes in seconds of wall time.  Each example's ``main``
+contains its own correctness assertions; here we additionally check the
+printed output mentions its headline facts.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart": ["imported 5 operation wrapper functions", "speed-up"],
+    "query1_places": ["create function GetAllStates()", "fanout sweep"],
+    "query2_zipcode": ["CO", "80840", "speed-up"],
+    "adaptive_tuning": ["init_stage", "add_stage", "adaptive"],
+    "custom_service": ["GetClimate", "summer"],
+    "mixed_chains": ["bushy plan", "example row"],
+    "realtime_demo": ["wall", "real concurrency"],
+}
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        captured = io.StringIO()
+        with redirect_stdout(captured):
+            module.main()
+        return captured.getvalue()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(name) -> None:
+    output = run_example(name)
+    for snippet in EXPECTED_SNIPPETS[name]:
+        assert snippet in output, f"{name}: missing {snippet!r} in output"

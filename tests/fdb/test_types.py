@@ -1,0 +1,83 @@
+"""Tests for type descriptors and inference."""
+
+import pytest
+
+from repro.fdb.types import (
+    BOOLEAN,
+    CHARSTRING,
+    INTEGER,
+    REAL,
+    BagType,
+    RecordType,
+    SequenceType,
+    TupleType,
+    TypeError_,
+    atomic,
+    infer_type,
+)
+from repro.fdb.values import Record, Sequence
+
+
+def test_atomic_accepts() -> None:
+    assert CHARSTRING.accepts("x")
+    assert not CHARSTRING.accepts(1)
+    assert REAL.accepts(1.5)
+    assert REAL.accepts(2)  # integers are acceptable reals
+    assert not REAL.accepts(True)  # but booleans are not
+    assert INTEGER.accepts(3)
+    assert not INTEGER.accepts(3.0)
+    assert not INTEGER.accepts(False)
+    assert BOOLEAN.accepts(True)
+    assert not BOOLEAN.accepts("true")
+
+
+def test_atomic_lookup_by_name() -> None:
+    assert atomic("Charstring") is CHARSTRING
+    assert atomic("Real") is REAL
+    with pytest.raises(TypeError_):
+        atomic("Decimal")
+
+
+def test_record_type_field_access() -> None:
+    rtype = RecordType((("Name", CHARSTRING), ("Lat", REAL)))
+    assert rtype.field_type("Lat") is REAL
+    assert rtype.field_names() == ["Name", "Lat"]
+    with pytest.raises(TypeError_):
+        rtype.field_type("Lon")
+
+
+def test_tuple_type_columns() -> None:
+    ttype = TupleType((("state", CHARSTRING), ("zip", CHARSTRING)))
+    assert ttype.column_names() == ["state", "zip"]
+    assert ttype.column_type("zip") is CHARSTRING
+    with pytest.raises(TypeError_):
+        ttype.column_type("city")
+
+
+def test_display_forms() -> None:
+    assert str(BagType(CHARSTRING)) == "Bag of Charstring"
+    assert str(SequenceType(REAL)) == "Sequence of Real"
+    assert "Charstring name" in str(TupleType((("name", CHARSTRING),)))
+
+
+def test_infer_type_atoms() -> None:
+    assert infer_type("x") is CHARSTRING
+    assert infer_type(2) is INTEGER
+    assert infer_type(2.0) is REAL
+    assert infer_type(True) is BOOLEAN
+
+
+def test_infer_type_nested() -> None:
+    value = Record({"a": Sequence(["x", "y"])})
+    inferred = infer_type(value)
+    assert isinstance(inferred, RecordType)
+    assert inferred.field_type("a") == SequenceType(CHARSTRING)
+
+
+def test_infer_type_empty_sequence_defaults_to_charstring() -> None:
+    assert infer_type(Sequence([])) == SequenceType(CHARSTRING)
+
+
+def test_infer_type_rejects_unknown() -> None:
+    with pytest.raises(TypeError_):
+        infer_type(object())

@@ -1,0 +1,37 @@
+"""Shared helpers for parallel-engine tests."""
+
+from __future__ import annotations
+
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import AdaptationParams
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.parallelizer import parallelize
+from repro.runtime.simulated import SimKernel
+
+from tests.helpers import World
+
+FAST_COSTS = ProcessCosts().scaled(0.01)
+
+
+def run_parallel(
+    world: World,
+    sql: str,
+    *,
+    fanouts: list[int] | None = None,
+    adaptation: AdaptationParams | None = None,
+    costs: ProcessCosts = FAST_COSTS,
+    fault_rate: float = 0.0,
+    name: str = "Query",
+):
+    """Parallelize and execute; returns (rows, kernel, broker, ctx)."""
+    central = world.central_plan(sql, name)
+    plan = parallelize(
+        central, world.functions, fanouts=fanouts, adaptation=adaptation
+    )
+    kernel = SimKernel()
+    broker = world.registry.bind(kernel, fault_rate=fault_rate)
+    ctx = ExecutionContext(kernel=kernel, broker=broker, functions=world.functions)
+    executor = ParallelExecutor(ctx, costs)
+    rows = kernel.run(executor.execute(plan))
+    return rows, kernel, broker, ctx

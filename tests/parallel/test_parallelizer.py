@@ -1,0 +1,168 @@
+"""Tests for section splitting and the plan rewriter."""
+
+import pytest
+
+from repro.algebra.plan import (
+    AdaptationParams,
+    AFFApplyNode,
+    ApplyNode,
+    FFApplyNode,
+    FilterNode,
+    MapNode,
+    ParamNode,
+    ProjectNode,
+    walk,
+)
+from repro.parallel.parallelizer import parallelize, split_sections
+from repro.util.errors import PlanError
+
+from tests.helpers import QUERY1_SQL, QUERY2_SQL, make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world()
+
+
+def test_query1_sections(world) -> None:
+    central = world.central_plan(QUERY1_SQL, "Query1")
+    coordinator, sections, _post = split_sections(central, world.functions)
+    # GetAllStates has no inputs -> stays in the coordinator (Sec. IV).
+    assert any(
+        isinstance(n, ApplyNode) and n.function == "GetAllStates"
+        for n in coordinator
+    )
+    assert [s.name for s in sections] == ["PF1", "PF2"]
+    assert sections[0].input_schema == ("gs_State",)
+    # PF2 takes only the concatenated place specification (paper Fig 8).
+    assert sections[1].input_schema == ("expr1",)
+
+
+def test_query1_section1_contains_concat(world) -> None:
+    central = world.central_plan(QUERY1_SQL, "Query1")
+    _, sections, _post = split_sections(central, world.functions)
+    kinds = [type(n).__name__ for n in sections[0].nodes]
+    assert "MapNode" in kinds  # the concat of Fig 7
+    functions = [n.function for n in sections[0].nodes if isinstance(n, ApplyNode)]
+    assert functions == ["GetPlacesWithin"]
+
+
+def test_query2_sections(world) -> None:
+    central = world.central_plan(QUERY2_SQL, "Query2")
+    _, sections, _post = split_sections(central, world.functions)
+    assert len(sections) == 2
+    # PF3 wraps GetInfoByState + getzipcode (Fig 11).
+    section1_functions = [
+        n.function for n in sections[0].nodes if isinstance(n, ApplyNode)
+    ]
+    assert section1_functions == ["GetInfoByState", "getzipcode"]
+    # PF4 wraps GetPlacesInside + the equal filter (Fig 12).
+    assert any(isinstance(n, FilterNode) for n in sections[1].nodes)
+
+
+def test_parallel_plan_is_nested(world) -> None:
+    central = world.central_plan(QUERY1_SQL, "Query1")
+    plan = parallelize(central, world.functions, fanouts=[5, 4])
+    assert isinstance(plan, FFApplyNode)
+    assert plan.fanout == 5
+    inner = plan.plan_function.body
+    assert isinstance(inner, FFApplyNode)
+    assert inner.fanout == 4
+    # The innermost plan function has no further parallel operators.
+    assert not any(
+        isinstance(n, FFApplyNode) for n in walk(inner.plan_function.body)
+    )
+
+
+def test_parallel_plan_schema_matches_central(world) -> None:
+    central = world.central_plan(QUERY1_SQL, "Query1")
+    plan = parallelize(central, world.functions, fanouts=[3, 3])
+    assert plan.schema == central.schema
+
+
+def test_flat_tree_fuses_sections(world) -> None:
+    central = world.central_plan(QUERY1_SQL, "Query1")
+    plan = parallelize(central, world.functions, fanouts=[6, 0])
+    assert isinstance(plan, FFApplyNode)
+    assert plan.fanout == 6
+    body = plan.plan_function.body
+    # Both OWFs now execute in the same (single-level) plan function.
+    functions = [n.function for n in walk(body) if isinstance(n, ApplyNode)]
+    assert set(functions) == {"GetPlacesWithin", "GetPlaceList"}
+    assert not any(isinstance(n, FFApplyNode) for n in walk(body))
+
+
+def test_adaptive_rewrite_uses_aff_nodes(world) -> None:
+    central = world.central_plan(QUERY2_SQL, "Query2")
+    plan = parallelize(
+        central, world.functions, adaptation=AdaptationParams(p=2)
+    )
+    assert isinstance(plan, AFFApplyNode)
+    assert isinstance(plan.plan_function.body, AFFApplyNode)
+
+
+def test_plan_functions_are_rooted_on_param_nodes(world) -> None:
+    central = world.central_plan(QUERY2_SQL, "Query2")
+    plan = parallelize(central, world.functions, fanouts=[2, 2])
+    pf1 = plan.plan_function
+    leaves = [n for n in walk(pf1.body) if not n.children()]
+    assert all(isinstance(n, ParamNode) for n in leaves)
+
+
+def test_no_parallelizable_section_returns_plan_unchanged(world) -> None:
+    central = world.central_plan("SELECT gs.Name FROM GetAllStates gs")
+    plan = parallelize(central, world.functions, fanouts=[])
+    assert plan is central
+
+
+def test_fanout_vector_length_mismatch_rejected(world) -> None:
+    central = world.central_plan(QUERY1_SQL)
+    with pytest.raises(PlanError, match="fanout vector"):
+        parallelize(central, world.functions, fanouts=[5])
+
+
+def test_first_fanout_zero_rejected(world) -> None:
+    central = world.central_plan(QUERY1_SQL)
+    with pytest.raises(PlanError, match="first fanout"):
+        parallelize(central, world.functions, fanouts=[0, 4])
+
+
+def test_both_modes_rejected(world) -> None:
+    central = world.central_plan(QUERY1_SQL)
+    with pytest.raises(PlanError, match="exactly one"):
+        parallelize(
+            central,
+            world.functions,
+            fanouts=[2, 2],
+            adaptation=AdaptationParams(),
+        )
+
+
+def test_neither_mode_rejected(world) -> None:
+    central = world.central_plan(QUERY1_SQL)
+    with pytest.raises(PlanError, match="exactly one"):
+        parallelize(central, world.functions)
+
+
+def test_constant_bound_owf_is_not_parallelizable(world) -> None:
+    # All inputs constant -> a single call, no parameter stream to
+    # partition (Sec. IV considers only OWFs fed from streams).
+    sql = (
+        "SELECT gi.GetInfoByStateResult FROM GetInfoByState gi "
+        "WHERE gi.USState = 'Ohio'"
+    )
+    central = world.central_plan(sql)
+    _, sections, _post = split_sections(central, world.functions)
+    assert sections == []
+    assert parallelize(central, world.functions, fanouts=[]) is central
+
+
+def test_two_view_single_level_parallel_query(world) -> None:
+    sql = (
+        "SELECT gi.GetInfoByStateResult FROM GetAllStates gs, GetInfoByState gi "
+        "WHERE gi.USState = gs.State"
+    )
+    central = world.central_plan(sql)
+    plan = parallelize(central, world.functions, fanouts=[2])
+    assert isinstance(plan, FFApplyNode)
+    assert plan.child.schema == ("gs_State",)

@@ -1,0 +1,98 @@
+"""Tests for process-tree reconstruction and utilization analysis."""
+
+import pytest
+
+from repro.parallel.visualize import (
+    build_process_tree,
+    peak_concurrency,
+    process_utilization,
+    render_process_tree,
+    render_utilization,
+)
+from repro.util.trace import TraceLog
+
+from tests.helpers import QUERY1_SQL, make_world
+from tests.parallel.helpers_parallel import run_parallel
+
+
+@pytest.fixture(scope="module")
+def query1_trace():
+    world = make_world()
+    _, kernel, _, ctx = run_parallel(world, QUERY1_SQL, fanouts=[3, 2])
+    return ctx.trace, kernel.now()
+
+
+def test_tree_reconstruction_matches_fanouts(query1_trace) -> None:
+    trace, _ = query1_trace
+    root = build_process_tree(trace)
+    assert root.name == "q0"
+    assert len(root.children) == 3  # fo1
+    for level1 in root.children:
+        assert level1.plan_function == "PF1"
+        assert len(level1.children) == 2  # fo2
+        for level2 in level1.children:
+            assert level2.plan_function == "PF2"
+    assert root.total_processes() == 1 + 3 + 6
+
+
+def test_tree_carries_call_counts(query1_trace) -> None:
+    trace, _ = query1_trace
+    root = build_process_tree(trace)
+    # Level-one processes together handled all 50 states.
+    assert sum(child.calls for child in root.children) == 50
+    # Level-two processes together handled all 260 place lookups.
+    assert sum(
+        grandchild.calls
+        for child in root.children
+        for grandchild in child.children
+    ) == 260
+
+
+def test_render_tree_text(query1_trace) -> None:
+    trace, _ = query1_trace
+    text = render_process_tree(trace)
+    assert text.startswith("q0 (coordinator)")
+    assert "[PF1]" in text and "[PF2]" in text
+    assert "├─" in text and "└─" in text
+    assert len(text.splitlines()) == 10
+
+
+def test_utilization_report(query1_trace) -> None:
+    trace, end = query1_trace
+    report = process_utilization(trace, end_time=end)
+    # The coordinator made exactly one service call (GetAllStates).
+    assert report["q0"].calls == 1
+    # Every process's utilization is a valid fraction.
+    assert all(0.0 <= entry.utilization <= 1.0 for entry in report.values())
+    # Level-two processes did most of the call work.
+    busiest = max(report.values(), key=lambda u: u.busy)
+    assert busiest.name != "q0"
+
+
+def test_peak_concurrency_bounded_by_workers(query1_trace) -> None:
+    trace, _ = query1_trace
+    peak_level2 = peak_concurrency(trace, "GetPlaceList")
+    assert 1 <= peak_level2 <= 6  # at most fo1*fo2 workers
+    assert peak_concurrency(trace, "GetAllStates") == 1
+    assert peak_concurrency(trace) >= peak_level2
+
+
+def test_render_utilization_table(query1_trace) -> None:
+    trace, _ = query1_trace
+    text = render_utilization(trace, top=5)
+    lines = text.splitlines()
+    assert lines[0].split() == ["process", "calls", "busy(s)", "life(s)", "util"]
+    assert len(lines) == 6
+
+
+def test_dropped_children_marked() -> None:
+    trace = TraceLog()
+    trace.record(0.0, "spawn", parent="q0", process="q1", plan_function="PF1")
+    trace.record(1.0, "drop_stage", process="q0", plan_function="PF1", dropped="q1")
+    text = render_process_tree(trace)
+    assert "[dropped]" in text
+
+
+def test_empty_trace_renders_coordinator_only() -> None:
+    assert render_process_tree(TraceLog()) == "q0 (coordinator)"
+    assert peak_concurrency(TraceLog()) == 0

@@ -1,0 +1,106 @@
+"""Property-based tests of the simulated kernel's scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.simulated import SimKernel
+
+# A schedule is a list of (send_offset, latency) pairs for one channel.
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(schedule=schedules)
+@settings(max_examples=60, deadline=None)
+def test_every_message_delivered_exactly_once_and_never_early(schedule) -> None:
+    kernel = SimKernel()
+    latency = schedule[0][1]
+    channel = kernel.channel("c", latency=latency)
+    deliveries = []
+
+    async def sender(index, offset):
+        await kernel.sleep(offset)
+        channel.send((index, kernel.now()))
+
+    async def receiver(expected):
+        for _ in range(expected):
+            index, sent_at = await channel.recv()
+            deliveries.append((index, sent_at, kernel.now()))
+
+    async def main():
+        handles = [
+            kernel.spawn(sender(i, offset)) for i, (offset, _) in enumerate(schedule)
+        ]
+        handles.append(kernel.spawn(receiver(len(schedule))))
+        for handle in handles:
+            await handle.join()
+
+    kernel.run(main())
+    assert sorted(index for index, _, _ in deliveries) == list(range(len(schedule)))
+    for _, sent_at, received_at in deliveries:
+        assert received_at >= sent_at + latency - 1e-9
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),
+        min_size=1,
+        max_size=25,
+    ),
+    slots=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_semaphore_never_exceeds_capacity(durations, slots) -> None:
+    kernel = SimKernel()
+    semaphore = kernel.semaphore(slots)
+    active = 0
+    peak = 0
+
+    async def worker(duration):
+        nonlocal active, peak
+        await semaphore.acquire()
+        active += 1
+        peak = max(peak, active)
+        await kernel.sleep(duration)
+        active -= 1
+        semaphore.release()
+
+    async def main():
+        await kernel.gather(*[worker(d) for d in durations])
+
+    kernel.run(main())
+    assert peak <= slots
+    assert active == 0
+    # All slots returned.
+    assert semaphore.available() == slots
+
+
+@given(
+    sleeps=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_virtual_clock_is_monotone_and_ends_at_max_finish(sleeps) -> None:
+    kernel = SimKernel()
+    observed = []
+
+    async def worker(duration):
+        await kernel.sleep(duration)
+        observed.append(kernel.now())
+
+    async def main():
+        await kernel.gather(*[worker(d) for d in sleeps])
+        return kernel.now()
+
+    final = kernel.run(main())
+    assert observed == sorted(observed)
+    assert final >= max(sleeps) - 1e-9

@@ -1,0 +1,51 @@
+"""wait_for on both kernels (the simulated tests live in test_timeouts)."""
+
+import pytest
+
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.simulated import SimKernel
+
+
+@pytest.mark.parametrize("make_kernel", [SimKernel, lambda: AsyncioKernel(time_scale=0.001)])
+def test_wait_for_success(make_kernel) -> None:
+    kernel = make_kernel()
+
+    async def work():
+        await kernel.sleep(5.0)
+        return 42
+
+    async def main():
+        return await kernel.wait_for(work(), timeout=100.0)
+
+    assert kernel.run(main()) == 42
+
+
+@pytest.mark.parametrize("make_kernel", [SimKernel, lambda: AsyncioKernel(time_scale=0.001)])
+def test_wait_for_timeout(make_kernel) -> None:
+    kernel = make_kernel()
+
+    async def work():
+        await kernel.sleep(10_000.0)
+
+    async def main():
+        with pytest.raises(TimeoutError):
+            await kernel.wait_for(work(), timeout=10.0)
+        return "survived"
+
+    assert kernel.run(main()) == "survived"
+
+
+def test_wait_for_nested_under_sim() -> None:
+    kernel = SimKernel()
+
+    async def inner():
+        await kernel.sleep(1.0)
+        return "inner"
+
+    async def outer():
+        return await kernel.wait_for(inner(), timeout=50.0)
+
+    async def main():
+        return await kernel.wait_for(outer(), timeout=100.0)
+
+    assert kernel.run(main()) == "inner"

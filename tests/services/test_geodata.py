@@ -1,0 +1,153 @@
+"""Tests pinning the synthetic dataset to the paper's cardinalities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.geodata import (
+    GeoConfig,
+    GeoDatabase,
+    US_STATES,
+    haversine_km,
+)
+
+
+@pytest.fixture(scope="module")
+def geo() -> GeoDatabase:
+    return GeoDatabase()
+
+
+def test_fifty_states(geo) -> None:
+    assert len(geo.all_states()) == 50
+    assert len({s.abbreviation for s in geo.all_states()}) == 50
+
+
+def test_state_lookup_by_name_and_abbreviation(geo) -> None:
+    assert geo.state_named("Colorado").abbreviation == "CO"
+    assert geo.state_named("CO").name == "Colorado"
+    with pytest.raises(KeyError):
+        geo.state_named("Atlantis")
+
+
+def test_total_zipcodes_matches_paper_scale(geo) -> None:
+    # 50 states x 99 zips = 4950 GetPlacesInside calls in Query2 (paper:
+    # "more than 5000 calls" including the other levels).
+    assert geo.total_zipcodes() == 4950
+    assert all(len(geo.zipcodes_of(abbr)) == 99 for _, abbr in US_STATES)
+
+
+def test_usaf_academy_is_in_colorado_80840(geo) -> None:
+    assert "80840" in geo.zipcodes_of("CO")
+    hits = [
+        place
+        for place, _ in geo.places_inside("80840")
+        if place.name == "USAF Academy"
+    ]
+    assert len(hits) == 1
+    assert hits[0].state == "CO"
+
+
+def test_usaf_zip_unique_across_states(geo) -> None:
+    owners = [
+        abbr for _, abbr in US_STATES if "80840" in geo.zipcodes_of(abbr)
+    ]
+    assert owners == ["CO"]
+
+
+def test_atlanta_cluster_shape(geo) -> None:
+    assert len(geo.atlanta_states) == 26
+    for state in geo.atlanta_states:
+        cluster = geo.places_within("Atlanta", state, 15.0, "City")
+        assert len(cluster) == 10  # anchor + 9 neighbours
+        names = [place.name for place, _ in cluster]
+        assert "Atlanta" in names
+        assert all(distance <= 15.0 for _, distance in cluster)
+
+
+def test_query1_level2_call_count_is_260(geo) -> None:
+    assert geo.expected_query1_level2_calls() == 260
+
+
+def test_query1_result_row_count_is_360(geo) -> None:
+    rows = 0
+    for state in geo.atlanta_states:
+        for place, _ in geo.places_within("Atlanta", state, 15.0, "City"):
+            spec = f"{place.name}, {place.state}"
+            rows += len(geo.place_list(spec, 100, True))
+    assert rows == 360
+
+
+def test_non_atlanta_state_has_empty_cluster(geo) -> None:
+    non_atlanta = next(
+        abbr for _, abbr in US_STATES if abbr not in geo.atlanta_states
+    )
+    assert geo.places_within("Atlanta", non_atlanta, 15.0, "City") == []
+
+
+def test_place_list_without_state_matches_all_states(geo) -> None:
+    everywhere = geo.place_list("Atlanta", 100, True)
+    assert len({place.state for place in everywhere}) == 26
+
+
+def test_place_list_respects_max_items(geo) -> None:
+    assert len(geo.place_list("Atlanta", 5, True)) == 5
+
+
+def test_places_inside_unknown_zip_is_empty(geo) -> None:
+    assert geo.places_inside("00000") == []
+
+
+def test_places_inside_returns_distances_from_origin(geo) -> None:
+    some_zip = geo.zipcodes_of("GA")[10]
+    results = geo.places_inside(some_zip)
+    assert results
+    assert results[0][1] == 0.0  # the origin place itself
+
+
+def test_dataset_is_deterministic() -> None:
+    first, second = GeoDatabase(), GeoDatabase()
+    assert first.atlanta_states == second.atlanta_states
+    assert first.total_places() == second.total_places()
+    assert [p.name for p in first.places_in_state("GA")] == [
+        p.name for p in second.places_in_state("GA")
+    ]
+
+
+def test_different_seed_changes_layout() -> None:
+    default = GeoDatabase()
+    other = GeoDatabase(GeoConfig(seed=7))
+    assert default.atlanta_states != other.atlanta_states
+
+
+def test_config_scales_cardinalities() -> None:
+    small = GeoDatabase(
+        GeoConfig(
+            atlanta_state_count=4,
+            neighbors_per_atlanta=2,
+            locale_twin_total=5,
+            zipcodes_per_state=10,
+        )
+    )
+    assert small.total_zipcodes() == 500
+    assert small.expected_query1_level2_calls() == 12  # 4 x (1 + 2)
+
+
+def test_haversine_known_distance() -> None:
+    # One degree of latitude is ~111 km.
+    assert haversine_km(40.0, -100.0, 41.0, -100.0) == pytest.approx(111.2, abs=0.5)
+    assert haversine_km(40.0, -100.0, 40.0, -100.0) == 0.0
+
+
+coords = st.tuples(
+    st.floats(min_value=-80, max_value=80),
+    st.floats(min_value=-179, max_value=179),
+)
+
+
+@given(a=coords, b=coords)
+@settings(max_examples=60)
+def test_haversine_is_symmetric_and_nonnegative(a, b) -> None:
+    forward = haversine_km(a[0], a[1], b[0], b[1])
+    backward = haversine_km(b[0], b[1], a[0], a[1])
+    assert forward == pytest.approx(backward)
+    assert forward >= 0.0

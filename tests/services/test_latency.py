@@ -1,0 +1,77 @@
+"""Tests for the endpoint cost model, including load degradation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.latency import EndpointProfile
+
+
+def test_sequential_call_time_sums_components() -> None:
+    profile = EndpointProfile(rtt=0.4, setup=0.1, service_time=1.0, per_row=0.05)
+    assert profile.sequential_call_time(rows=10) == pytest.approx(2.0)
+
+
+def test_server_time_without_noise_or_load() -> None:
+    profile = EndpointProfile(service_time=2.0, per_row=0.1, jitter=0.0)
+    assert profile.server_time(rows=5, noise=0.0) == pytest.approx(2.5)
+
+
+def test_jitter_bounds_server_time() -> None:
+    profile = EndpointProfile(service_time=1.0, jitter=0.1)
+    assert profile.server_time(1, noise=1.0) == pytest.approx(1.1 * profile.per_row + 1.1, rel=1e-6)
+    assert profile.server_time(1, noise=-1.0) == pytest.approx(0.9, rel=1e-6)
+
+
+def test_overload_linear_and_quadratic() -> None:
+    profile = EndpointProfile(
+        service_time=1.0, jitter=0.0, overload_penalty=0.5, overload_quadratic=0.1
+    )
+    assert profile.server_time(1, 0.0, overload=0) == pytest.approx(1.0)
+    assert profile.server_time(1, 0.0, overload=2) == pytest.approx(1.0 + 1.0 + 0.4)
+    # Negative overload (below the knee) never speeds the server up.
+    assert profile.server_time(1, 0.0, overload=-3) == pytest.approx(1.0)
+
+
+def test_scaled_preserves_shape() -> None:
+    profile = EndpointProfile(
+        rtt=1.0, setup=0.2, service_time=2.0, per_row=0.1,
+        overload_penalty=0.5, overload_quadratic=0.1,
+    )
+    scaled = profile.scaled(0.5)
+    assert scaled.rtt == 0.5
+    assert scaled.service_time == 1.0
+    # Degradation factors are multipliers: scaling times must not change them.
+    assert scaled.overload_penalty == 0.5
+    assert scaled.overload_quadratic == 0.1
+    assert scaled.server_time(1, 0.0, overload=4) == pytest.approx(
+        profile.server_time(1, 0.0, overload=4) * 0.5
+    )
+
+
+def test_validation_rejects_bad_values() -> None:
+    with pytest.raises(ValueError):
+        EndpointProfile(setup=-0.1)
+    with pytest.raises(ValueError):
+        EndpointProfile(overload_penalty=-1.0)
+    with pytest.raises(ValueError):
+        EndpointProfile(overload_quadratic=-0.1)
+    with pytest.raises(ValueError):
+        EndpointProfile(jitter=-0.01)
+
+
+@given(
+    overload=st.integers(min_value=0, max_value=100),
+    rows=st.integers(min_value=0, max_value=1000),
+    noise=st.floats(min_value=-1.0, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_server_time_monotone_in_load_and_rows(overload, rows, noise) -> None:
+    profile = EndpointProfile(
+        service_time=0.5, per_row=0.01, jitter=0.05,
+        overload_penalty=0.2, overload_quadratic=0.01,
+    )
+    base = profile.server_time(rows, noise, overload)
+    assert base > 0
+    assert profile.server_time(rows, noise, overload + 1) >= base
+    assert profile.server_time(rows + 1, noise, overload) >= base

@@ -1,0 +1,106 @@
+"""Behavioural tests for the four simulated providers."""
+
+import pytest
+
+from repro.services.geodata import GeoDatabase
+from repro.services.providers import (
+    GeoPlacesProvider,
+    TerraServiceProvider,
+    USZipProvider,
+    ZipcodesProvider,
+)
+from repro.util.errors import ServiceFault
+
+
+@pytest.fixture(scope="module")
+def geo() -> GeoDatabase:
+    return GeoDatabase()
+
+
+def test_get_all_states_payload(geo) -> None:
+    payload = GeoPlacesProvider(geo).invoke("GetAllStates", [])
+    details = payload["GetAllStatesResult"]["GeoPlaceDetails"]
+    assert len(details) == 50
+    assert details[0]["Type"] == "State"
+    assert details[0]["State"] == "Alabama"
+    # Radians are consistent with degrees.
+    assert details[0]["LatRadians"] == pytest.approx(
+        details[0]["LatDegrees"] * 0.0174532925, rel=1e-6
+    )
+
+
+def test_get_places_within_atlanta_state(geo) -> None:
+    state = geo.atlanta_states[0]
+    full_name = geo.state_named(state).name
+    payload = GeoPlacesProvider(geo).invoke(
+        "GetPlacesWithin", ["Atlanta", full_name, 15.0, "City"]
+    )
+    rows = payload["GetPlacesWithinResult"]["GeoPlaceDistance"]
+    assert len(rows) == 10
+    assert all(row["ToState"] == state for row in rows)
+    assert all(row["Distance"] <= 15.0 for row in rows)
+
+
+def test_get_places_within_unknown_state_faults(geo) -> None:
+    with pytest.raises(ServiceFault, match="unknown state"):
+        GeoPlacesProvider(geo).invoke(
+            "GetPlacesWithin", ["Atlanta", "Narnia", 15.0, "City"]
+        )
+
+
+def test_get_places_within_locale_filter(geo) -> None:
+    state = geo.atlanta_states[0]
+    payload = GeoPlacesProvider(geo).invoke(
+        "GetPlacesWithin", ["Atlanta", state, 15.0, "Locale"]
+    )
+    rows = payload["GetPlacesWithinResult"]["GeoPlaceDistance"]
+    # Locale twins exist for a subset of cluster members.
+    assert 0 < len(rows) <= 10
+
+
+def test_get_place_list_matches_city_and_locale(geo) -> None:
+    state = geo.atlanta_states[0]
+    payload = TerraServiceProvider(geo).invoke(
+        "GetPlaceList", [f"Atlanta, {state}", 100, True]
+    )
+    facts = payload["GetPlaceListResult"]["PlaceFacts"]
+    assert 1 <= len(facts) <= 2
+    assert {fact["country"] for fact in facts} == {"US"}
+    assert all(fact["state"] == state for fact in facts)
+
+
+def test_get_place_list_unknown_place_is_empty(geo) -> None:
+    payload = TerraServiceProvider(geo).invoke(
+        "GetPlaceList", ["Erewhon, ZZ", 100, True]
+    )
+    assert payload["GetPlaceListResult"]["PlaceFacts"] == []
+
+
+def test_get_info_by_state_returns_comma_string(geo) -> None:
+    payload = USZipProvider(geo).invoke("GetInfoByState", ["Georgia"])
+    codes = payload["GetInfoByStateResult"].split(",")
+    assert len(codes) == 99
+    assert all(len(code) == 5 for code in codes)
+
+
+def test_get_info_by_state_unknown_faults(geo) -> None:
+    with pytest.raises(ServiceFault):
+        USZipProvider(geo).invoke("GetInfoByState", ["Gondor"])
+
+
+def test_get_places_inside_usaf_zip(geo) -> None:
+    payload = ZipcodesProvider(geo).invoke("GetPlacesInside", ["80840"])
+    rows = payload["GetPlacesInsideResult"]["GeoPlaceDistance"]
+    names = {row["ToPlace"] for row in rows}
+    assert "USAF Academy" in names
+    assert all(row["ToState"] == "CO" for row in rows)
+
+
+def test_get_places_inside_unknown_zip_empty(geo) -> None:
+    payload = ZipcodesProvider(geo).invoke("GetPlacesInside", ["99999"])
+    assert payload["GetPlacesInsideResult"]["GeoPlaceDistance"] == []
+
+
+def test_unimplemented_operation_faults(geo) -> None:
+    with pytest.raises(ServiceFault, match="not implemented"):
+        GeoPlacesProvider(geo).invoke("GetCountries", [])

@@ -1,0 +1,130 @@
+"""Tests for SOAP-style payload encoding and decoding."""
+
+import pytest
+
+from repro.fdb.values import Record, Sequence
+from repro.services import soap
+from repro.services.geodata import GeoDatabase
+from repro.services.providers import (
+    GeoPlacesProvider,
+    TerraServiceProvider,
+    USZipProvider,
+)
+from repro.services.wsdl import parse_wsdl
+from repro.util.errors import WsdlError
+
+
+@pytest.fixture(scope="module")
+def world():
+    geodata = GeoDatabase()
+    providers = {
+        "GeoPlaces": GeoPlacesProvider(geodata),
+        "TerraService": TerraServiceProvider(geodata),
+        "USZip": USZipProvider(geodata),
+    }
+    documents = {
+        name: parse_wsdl(provider.wsdl_text(), provider.uri)
+        for name, provider in providers.items()
+    }
+    return geodata, providers, documents
+
+
+def test_request_roundtrip(world) -> None:
+    _, _, documents = world
+    operation = documents["GeoPlaces"].operation("GetPlacesWithin")
+    text = soap.encode_request(operation, ["Atlanta", "Georgia", 15.0, "City"])
+    assert b"<place>Atlanta</place>" in text
+    assert soap.decode_request(operation, text) == ["Atlanta", "Georgia", 15.0, "City"]
+
+
+def test_request_wrong_arity_rejected(world) -> None:
+    _, _, documents = world
+    operation = documents["GeoPlaces"].operation("GetPlacesWithin")
+    with pytest.raises(WsdlError, match="4 arguments"):
+        soap.encode_request(operation, ["Atlanta"])
+
+
+def test_request_type_mismatch_rejected(world) -> None:
+    _, _, documents = world
+    operation = documents["GeoPlaces"].operation("GetPlacesWithin")
+    with pytest.raises(WsdlError):
+        soap.encode_request(operation, ["Atlanta", "Georgia", "far", "City"])
+
+
+def test_boolean_and_int_marshalling(world) -> None:
+    _, _, documents = world
+    operation = documents["TerraService"].operation("GetPlaceList")
+    text = soap.encode_request(operation, ["Atlanta, GA", 100, True])
+    assert b"<imagePresence>true</imagePresence>" in text
+    assert b"<MaxItems>100</MaxItems>" in text
+    assert soap.decode_request(operation, text) == ["Atlanta, GA", 100, True]
+
+
+def test_response_roundtrip_produces_value_model(world) -> None:
+    _, providers, documents = world
+    operation = documents["GeoPlaces"].operation("GetAllStates")
+    payload = providers["GeoPlaces"].invoke("GetAllStates", [])
+    text = soap.encode_response(operation, payload)
+    value = soap.decode_response(operation, text)
+    assert isinstance(value, Sequence)
+    response = value[0]
+    assert isinstance(response, Record)
+    details = response["GetAllStatesResult"]["GeoPlaceDetails"]
+    assert isinstance(details, Sequence)
+    assert len(details) == 50
+    first = details[0]
+    assert first["State"] == "Alabama"
+    assert isinstance(first["LatDegrees"], float)
+
+
+def test_atomic_response_roundtrip(world) -> None:
+    _, providers, documents = world
+    operation = documents["USZip"].operation("GetInfoByState")
+    payload = providers["USZip"].invoke("GetInfoByState", ["Colorado"])
+    text = soap.encode_response(operation, payload)
+    value = soap.decode_response(operation, text)
+    zip_string = value[0]["GetInfoByStateResult"]
+    assert isinstance(zip_string, str)
+    assert "80840" in zip_string.split(",")
+
+
+def test_encode_response_rejects_unknown_keys(world) -> None:
+    _, _, documents = world
+    operation = documents["USZip"].operation("GetInfoByState")
+    with pytest.raises(WsdlError, match="not in schema"):
+        soap.encode_response(operation, {"Bogus": "x"})
+
+
+def test_encode_response_rejects_missing_child(world) -> None:
+    _, _, documents = world
+    operation = documents["USZip"].operation("GetInfoByState")
+    with pytest.raises(WsdlError, match="missing"):
+        soap.encode_response(operation, {})
+
+
+def test_decode_response_rejects_wrong_root(world) -> None:
+    _, _, documents = world
+    operation = documents["USZip"].operation("GetInfoByState")
+    with pytest.raises(WsdlError, match="GetInfoByStateResponse"):
+        soap.decode_response(operation, b"<Other/>")
+
+
+def test_count_rows_repeated(world) -> None:
+    _, providers, documents = world
+    operation = documents["GeoPlaces"].operation("GetAllStates")
+    payload = providers["GeoPlaces"].invoke("GetAllStates", [])
+    assert soap.count_rows(operation.output_element, payload) == 50
+
+
+def test_count_rows_scalar_response_is_one(world) -> None:
+    _, providers, documents = world
+    operation = documents["USZip"].operation("GetInfoByState")
+    payload = providers["USZip"].invoke("GetInfoByState", ["Ohio"])
+    assert soap.count_rows(operation.output_element, payload) == 1
+
+
+def test_count_rows_empty_repeated_is_zero(world) -> None:
+    _, providers, documents = world
+    operation = documents["GeoPlaces"].operation("GetPlacesWithin")
+    payload = {"GetPlacesWithinResult": {"GeoPlaceDistance": []}}
+    assert soap.count_rows(operation.output_element, payload) == 0

@@ -1,0 +1,95 @@
+"""Tests for WSDL rendering and the parse/render round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdb.types import BOOLEAN, CHARSTRING, INTEGER, REAL
+from repro.services.geodata import GeoDatabase
+from repro.services.providers import ALL_PROVIDERS
+from repro.services.wsdl import (
+    WsdlDocument,
+    WsdlOperation,
+    XsdComplex,
+    XsdElement,
+    parse_wsdl,
+    render_wsdl,
+)
+
+
+def test_builtin_providers_roundtrip() -> None:
+    geodata = GeoDatabase()
+    for provider_class in ALL_PROVIDERS:
+        provider = provider_class(geodata)
+        document = parse_wsdl(provider.wsdl_text(), provider.uri)
+        rendered = render_wsdl(document)
+        reparsed = parse_wsdl(rendered, provider.uri)
+        assert reparsed == document
+
+
+# -- random schema generation -----------------------------------------------------
+
+_names = st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}", fullmatch=True)
+_atoms = st.sampled_from([CHARSTRING, REAL, INTEGER, BOOLEAN])
+
+
+def _unique_names(count):
+    return st.lists(_names, min_size=count, max_size=count, unique_by=str.lower)
+
+
+@st.composite
+def _complex_element(draw, name, depth=2):
+    child_count = draw(st.integers(min_value=0, max_value=3))
+    child_names = draw(_unique_names(child_count))
+    children = []
+    for child_name in child_names:
+        if depth > 0 and draw(st.booleans()) and child_name != name:
+            children.append(
+                draw(_complex_element(child_name, depth=depth - 1))
+            )
+        else:
+            children.append(
+                XsdElement(
+                    name=child_name,
+                    atom=draw(_atoms),
+                    repeated=draw(st.booleans()),
+                )
+            )
+    return XsdElement(
+        name=name, complex=XsdComplex(tuple(children)), repeated=False
+    )
+
+
+@st.composite
+def _documents(draw):
+    op_count = draw(st.integers(min_value=1, max_value=3))
+    labels = draw(_unique_names(op_count * 2 + 1))
+    service = labels[0]
+    operations = {}
+    for index in range(op_count):
+        req_name = labels[1 + index * 2]
+        resp_name = labels[2 + index * 2]
+        inputs = tuple(
+            XsdElement(name=n, atom=draw(_atoms))
+            for n in draw(_unique_names(draw(st.integers(0, 3))))
+        )
+        operations[req_name] = WsdlOperation(
+            name=req_name,
+            input_element=XsdElement(name=req_name, complex=XsdComplex(inputs)),
+            output_element=draw(_complex_element(resp_name)),
+        )
+    return WsdlDocument(
+        uri="http://sim.example/random.wsdl",
+        name=service,
+        target_namespace="urn:test:random",
+        service_name=service,
+        port_name=f"{service}Soap",
+        operations=operations,
+    )
+
+
+@given(document=_documents())
+@settings(max_examples=50, deadline=None)
+def test_random_documents_roundtrip(document) -> None:
+    rendered = render_wsdl(document)
+    reparsed = parse_wsdl(rendered, document.uri)
+    assert reparsed == document

@@ -1,0 +1,109 @@
+"""Property: pretty-printing any AST and re-parsing it is the identity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import KEYWORDS
+from repro.sql.parser import parse_query
+
+# Identifiers that cannot collide with keywords or each other's casing.
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(Literal),
+    st.floats(min_value=0.001, max_value=1000).map(lambda f: Literal(round(f, 3))),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=10,
+    ).map(Literal),
+    st.booleans().map(Literal),
+)
+
+column_refs = st.builds(
+    ColumnRef, qualifier=st.one_of(st.none(), identifiers), name=identifiers
+)
+
+simple_exprs = st.one_of(literals, column_refs)
+
+exprs = st.recursive(
+    simple_exprs,
+    lambda children: st.builds(BinaryOp, op=st.just("+"), left=children, right=children),
+    max_leaves=4,
+)
+
+comparisons = st.builds(
+    Comparison,
+    op=st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]),
+    left=exprs,
+    right=exprs,
+)
+
+select_items = st.builds(
+    SelectItem, expression=exprs, alias=st.one_of(st.none(), identifiers)
+)
+
+table_refs = st.builds(TableRef, name=identifiers, alias=identifiers)
+
+order_items = st.builds(
+    OrderItem, column=column_refs, ascending=st.booleans()
+)
+
+queries = st.builds(
+    Query,
+    select=st.one_of(
+        st.just(Star()),
+        st.lists(select_items, min_size=1, max_size=4).map(tuple),
+    ),
+    tables=st.lists(table_refs, min_size=1, max_size=3).map(tuple),
+    predicates=st.lists(comparisons, max_size=3).map(tuple),
+    distinct=st.booleans(),
+    order_by=st.lists(order_items, max_size=2).map(tuple),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=999)),
+)
+
+
+def _normalize(query: Query) -> Query:
+    """Parsing normalizes two lossless surface artefacts:
+
+    * an integer-valued float literal prints as ``15`` and re-parses as
+      the integer 15;
+    * nested ``+`` re-associates to the left.
+    Compare after printing both once more, which is a fixpoint.
+    """
+    return parse_query(query.to_sql())
+
+
+@given(query=queries)
+@settings(max_examples=120, deadline=None)
+def test_to_sql_parse_roundtrip_is_fixpoint(query) -> None:
+    once = _normalize(query)
+    twice = _normalize(once)
+    assert once == twice
+    assert once.to_sql() == twice.to_sql()
+
+
+@given(query=queries)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_preserves_shape(query) -> None:
+    parsed = _normalize(query)
+    assert len(parsed.tables) == len(query.tables)
+    assert parsed.distinct == query.distinct
+    assert parsed.limit == query.limit
+    assert len(parsed.order_by) == len(query.order_by)
+    if not isinstance(query.select, Star):
+        assert not isinstance(parsed.select, Star)
+        assert len(parsed.select) == len(query.select)
+    assert len(parsed.predicates) == len(query.predicates)

@@ -1,0 +1,83 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import TokenKind, tokenize
+from repro.util.errors import ParseError
+
+
+def kinds_and_texts(sql):
+    return [(t.kind, t.text) for t in tokenize(sql) if t.kind is not TokenKind.END]
+
+
+def test_keywords_case_insensitive() -> None:
+    assert kinds_and_texts("Select from WHERE and") == [
+        (TokenKind.KEYWORD, "SELECT"),
+        (TokenKind.KEYWORD, "FROM"),
+        (TokenKind.KEYWORD, "WHERE"),
+        (TokenKind.KEYWORD, "AND"),
+    ]
+
+
+def test_identifiers_keep_spelling() -> None:
+    assert kinds_and_texts("GetAllStates gs") == [
+        (TokenKind.IDENTIFIER, "GetAllStates"),
+        (TokenKind.IDENTIFIER, "gs"),
+    ]
+
+
+def test_string_literal_with_escape() -> None:
+    tokens = kinds_and_texts("'USAF Academy' 'O''Hare'")
+    assert tokens == [
+        (TokenKind.STRING, "USAF Academy"),
+        (TokenKind.STRING, "O'Hare"),
+    ]
+
+
+def test_unterminated_string_raises_with_position() -> None:
+    with pytest.raises(ParseError) as excinfo:
+        tokenize("SELECT 'oops")
+    assert excinfo.value.column == 8
+
+
+def test_numbers() -> None:
+    assert kinds_and_texts("15.0 100 0.5") == [
+        (TokenKind.NUMBER, "15.0"),
+        (TokenKind.NUMBER, "100"),
+        (TokenKind.NUMBER, "0.5"),
+    ]
+
+
+def test_symbols_including_two_char() -> None:
+    assert kinds_and_texts("= <= >= <> < > + , . ( ) *") == [
+        (TokenKind.SYMBOL, s)
+        for s in ["=", "<=", ">=", "<>", "<", ">", "+", ",", ".", "(", ")", "*"]
+    ]
+
+
+def test_bang_equals_normalized() -> None:
+    assert kinds_and_texts("a != b")[1] == (TokenKind.SYMBOL, "<>")
+
+
+def test_line_comments_skipped() -> None:
+    sql = "SELECT a -- this is a comment\nFROM t"
+    assert (TokenKind.KEYWORD, "FROM") in kinds_and_texts(sql)
+
+
+def test_positions_track_lines() -> None:
+    tokens = tokenize("SELECT a\nFROM t")
+    from_token = next(t for t in tokens if t.text == "FROM")
+    assert (from_token.line, from_token.column) == (2, 1)
+
+
+def test_unexpected_character_raises() -> None:
+    with pytest.raises(ParseError, match="unexpected character"):
+        tokenize("SELECT @")
+
+
+def test_qualified_reference_tokens() -> None:
+    assert kinds_and_texts("gs.State") == [
+        (TokenKind.IDENTIFIER, "gs"),
+        (TokenKind.SYMBOL, "."),
+        (TokenKind.IDENTIFIER, "State"),
+    ]

@@ -1,0 +1,145 @@
+"""Tests for the SQL parser, including the paper's Query1 and Query2."""
+
+import pytest
+
+from repro.sql.ast import BinaryOp, ColumnRef, Comparison, Literal, Star
+from repro.sql.parser import parse_query
+from repro.util.errors import ParseError
+
+QUERY1 = """
+Select gl.placename, gl.state
+From   GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl
+Where  gs.State = gp.state and gp.distance = 15.0
+  and  gp.placeTypeToFind = 'City' and gp.place = 'Atlanta'
+  and  gl.placeName = gp.ToCity + ', ' + gp.ToState
+  and  gl.MaxItems = 100 and gl.imagePresence = 'true'
+"""
+
+QUERY2 = """
+select gp.ToState, gp.zip
+From   GetAllStates gs, GetInfoByState gi, getzipcode gc, GetPlacesInside gp
+Where  gs.State = gi.USState and
+       gi.GetInfoByStateResult = gc.zipstr and
+       gc.zipcode = gp.zip and
+       gp.ToPlace = 'USAF Academy'
+"""
+
+
+def test_query1_structure() -> None:
+    query = parse_query(QUERY1)
+    assert [t.name for t in query.tables] == [
+        "GetAllStates",
+        "GetPlacesWithin",
+        "GetPlaceList",
+    ]
+    assert query.alias_map()["gp"] == "GetPlacesWithin"
+    assert len(query.predicates) == 7
+    select_refs = [item.expression for item in query.select]
+    assert select_refs == [
+        ColumnRef("gl", "placename"),
+        ColumnRef("gl", "state"),
+    ]
+
+
+def test_query1_concat_predicate() -> None:
+    query = parse_query(QUERY1)
+    concat_predicate = query.predicates[4]
+    assert concat_predicate.left == ColumnRef("gl", "placeName")
+    right = concat_predicate.right
+    assert isinstance(right, BinaryOp)
+    # Left-associative: (ToCity + ', ') + ToState
+    assert right.right == ColumnRef("gp", "ToState")
+    assert isinstance(right.left, BinaryOp)
+    assert right.left.right == Literal(", ")
+
+
+def test_query2_structure() -> None:
+    query = parse_query(QUERY2)
+    assert len(query.tables) == 4
+    assert query.alias_map()["gc"] == "getzipcode"
+    last = query.predicates[-1]
+    assert last == Comparison(
+        "=", ColumnRef("gp", "ToPlace"), Literal("USAF Academy")
+    )
+
+
+def test_literal_types() -> None:
+    query = parse_query("SELECT a FROM t WHERE t.x = 15.0 AND t.y = 100 AND t.b = true")
+    values = [p.right.value for p in query.predicates]
+    assert values == [15.0, 100, True]
+    assert isinstance(values[0], float)
+    assert isinstance(values[1], int)
+
+
+def test_select_star() -> None:
+    query = parse_query("SELECT * FROM GetAllStates")
+    assert isinstance(query.select, Star)
+    assert query.predicates == ()
+
+
+def test_select_alias_forms() -> None:
+    query = parse_query("SELECT t.a AS x, t.b y FROM t")
+    assert [item.alias for item in query.select] == ["x", "y"]
+
+
+def test_default_table_alias_is_name() -> None:
+    query = parse_query("SELECT State FROM GetAllStates")
+    assert query.alias_map() == {"GetAllStates": "GetAllStates"}
+
+
+def test_unqualified_column() -> None:
+    query = parse_query("SELECT State FROM GetAllStates")
+    assert query.select[0].expression == ColumnRef(None, "State")
+
+
+def test_parenthesized_expression() -> None:
+    query = parse_query("SELECT a FROM t WHERE t.x = (t.a + ', ') + t.b")
+    right = query.predicates[0].right
+    assert isinstance(right, BinaryOp)
+
+
+def test_comparison_operators() -> None:
+    query = parse_query(
+        "SELECT a FROM t WHERE t.a < 1 AND t.b > 2 AND t.c <= 3 "
+        "AND t.d >= 4 AND t.e <> 5"
+    )
+    assert [p.op for p in query.predicates] == ["<", ">", "<=", ">=", "<>"]
+
+
+def test_roundtrip_through_to_sql() -> None:
+    for sql in (QUERY1, QUERY2):
+        first = parse_query(sql)
+        second = parse_query(first.to_sql())
+        assert first == second
+
+
+def test_missing_from_raises() -> None:
+    with pytest.raises(ParseError, match="expected FROM"):
+        parse_query("SELECT a")
+
+
+def test_missing_comparison_operator_raises() -> None:
+    with pytest.raises(ParseError, match="comparison operator"):
+        parse_query("SELECT a FROM t WHERE t.a")
+
+
+def test_trailing_garbage_raises() -> None:
+    with pytest.raises(ParseError, match="trailing"):
+        parse_query("SELECT a FROM t WHERE t.a = 1 GROUP")
+
+
+def test_error_carries_position() -> None:
+    with pytest.raises(ParseError) as excinfo:
+        parse_query("SELECT a FROM t WHERE = 1")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column == 23
+
+
+def test_dangling_dot_raises() -> None:
+    with pytest.raises(ParseError, match="column name"):
+        parse_query("SELECT t. FROM t")
+
+
+def test_empty_query_raises() -> None:
+    with pytest.raises(ParseError):
+        parse_query("")

@@ -1,0 +1,64 @@
+"""Parser tests for DISTINCT / ORDER BY / LIMIT."""
+
+import pytest
+
+from repro.sql.ast import ColumnRef, OrderItem
+from repro.sql.parser import parse_query
+from repro.util.errors import ParseError
+
+
+def test_distinct_flag() -> None:
+    assert parse_query("SELECT DISTINCT a FROM t").distinct is True
+    assert parse_query("SELECT a FROM t").distinct is False
+
+
+def test_order_by_single() -> None:
+    query = parse_query("SELECT a FROM t ORDER BY t.a")
+    assert query.order_by == (OrderItem(ColumnRef("t", "a"), True),)
+
+
+def test_order_by_directions() -> None:
+    query = parse_query("SELECT a, b FROM t ORDER BY a ASC, b DESC")
+    assert [item.ascending for item in query.order_by] == [True, False]
+
+
+def test_limit() -> None:
+    assert parse_query("SELECT a FROM t LIMIT 10").limit == 10
+    assert parse_query("SELECT a FROM t").limit is None
+
+
+def test_full_clause_order() -> None:
+    query = parse_query(
+        "SELECT DISTINCT t.a FROM t WHERE t.a = 1 ORDER BY t.a DESC LIMIT 5"
+    )
+    assert query.distinct
+    assert len(query.predicates) == 1
+    assert query.limit == 5
+
+
+def test_roundtrip_with_new_clauses() -> None:
+    sql = "SELECT DISTINCT t.a FROM t WHERE t.a = 1 ORDER BY t.a DESC LIMIT 5"
+    first = parse_query(sql)
+    assert parse_query(first.to_sql()) == first
+
+
+def test_order_by_requires_column() -> None:
+    with pytest.raises(ParseError, match="column reference"):
+        parse_query("SELECT a FROM t ORDER BY 'x'")
+
+
+def test_limit_requires_integer() -> None:
+    with pytest.raises(ParseError, match="integer"):
+        parse_query("SELECT a FROM t LIMIT 2.5")
+    with pytest.raises(ParseError):
+        parse_query("SELECT a FROM t LIMIT many")
+
+
+def test_order_without_by_rejected() -> None:
+    with pytest.raises(ParseError, match="BY"):
+        parse_query("SELECT a FROM t ORDER a")
+
+
+def test_keywords_not_usable_as_identifiers() -> None:
+    with pytest.raises(ParseError):
+        parse_query("SELECT distinct FROM t")

@@ -1,0 +1,60 @@
+"""Tests for the error hierarchy contract."""
+
+import pytest
+
+from repro.util.errors import (
+    BindingError,
+    CalculusError,
+    DeadlockError,
+    KernelError,
+    ParseError,
+    PlanError,
+    ReproError,
+    ServiceFault,
+    UnknownServiceError,
+    WsdlError,
+)
+
+
+def test_every_library_error_is_a_repro_error() -> None:
+    for error_class in (
+        ParseError,
+        CalculusError,
+        BindingError,
+        PlanError,
+        KernelError,
+        DeadlockError,
+        WsdlError,
+        UnknownServiceError,
+        ServiceFault,
+    ):
+        assert issubclass(error_class, ReproError)
+
+
+def test_binding_error_is_a_calculus_error() -> None:
+    assert issubclass(BindingError, CalculusError)
+
+
+def test_deadlock_is_a_kernel_error() -> None:
+    assert issubclass(DeadlockError, KernelError)
+
+
+def test_parse_error_carries_position() -> None:
+    error = ParseError("bad token", line=3, column=14)
+    assert error.line == 3
+    assert error.column == 14
+    assert "line 3" in str(error)
+    positionless = ParseError("oops")
+    assert "line" not in str(positionless)
+
+
+def test_service_fault_retriable_flag() -> None:
+    assert ServiceFault("x", retriable=True).retriable
+    assert not ServiceFault("x").retriable
+
+
+def test_catching_base_covers_everything() -> None:
+    with pytest.raises(ReproError):
+        raise BindingError("unbound")
+    with pytest.raises(ReproError):
+        raise ServiceFault("down")

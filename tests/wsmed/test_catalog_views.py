@@ -1,0 +1,61 @@
+"""Tests: the WSMED catalog is queryable through the SQL engine itself."""
+
+import pytest
+
+from repro import WSMED
+
+
+@pytest.fixture(scope="module")
+def wsmed():
+    system = WSMED(profile="fast")
+    system.import_all()
+    return system
+
+
+def test_ws_operations_lists_all_owfs(wsmed) -> None:
+    result = wsmed.sql("SELECT op.owf FROM ws_operations op ORDER BY op.owf")
+    assert [row[0] for row in result.rows] == [
+        "GetAllStates",
+        "GetInfoByState",
+        "GetPlaceList",
+        "GetPlacesInside",
+        "GetPlacesWithin",
+    ]
+    # Metadata queries touch no web service.
+    assert result.total_calls == 0
+
+
+def test_ws_services_join_operations(wsmed) -> None:
+    result = wsmed.sql(
+        "SELECT s.service, op.operation FROM ws_services s, ws_operations op "
+        "WHERE op.uri = s.uri AND s.service = 'GeoPlaces' ORDER BY op.operation"
+    )
+    assert result.rows == [
+        ("GeoPlaces", "GetAllStates"),
+        ("GeoPlaces", "GetPlacesWithin"),
+    ]
+
+
+def test_ws_parameters_filter(wsmed) -> None:
+    result = wsmed.sql(
+        "SELECT p.name, p.type FROM ws_parameters p "
+        "WHERE p.owf = 'GetPlacesWithin' ORDER BY p.name"
+    )
+    assert ("distance", "Real") in result.rows
+    assert len(result) == 4
+
+
+def test_ws_result_columns(wsmed) -> None:
+    result = wsmed.sql(
+        "SELECT rc.name FROM ws_result_columns rc WHERE rc.owf = 'GetPlacesInside'"
+    )
+    assert {row[0] for row in result.rows} == {"ToPlace", "ToState", "Distance"}
+
+
+def test_metadata_reflects_reimport() -> None:
+    system = WSMED(profile="fast")
+    before = system.sql("SELECT op.owf FROM ws_operations op")
+    assert len(before) == 0
+    system.import_all()
+    after = system.sql("SELECT op.owf FROM ws_operations op")
+    assert len(after) == 5

@@ -1,0 +1,194 @@
+"""Tests for the command-line front end and interactive shell."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, format_table, main
+from repro.util.errors import ReproError
+from repro.wsmed.results import QueryResult
+from repro.wsmed.system import WSMED
+
+
+@pytest.fixture(scope="module")
+def wsmed():
+    system = WSMED(profile="fast")
+    system.import_all()
+    return system
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def run_shell(wsmed, script, **kwargs):
+    out = io.StringIO()
+    shell = Shell(wsmed, out, **kwargs)
+    shell.repl(io.StringIO(script))
+    return out.getvalue()
+
+
+# -- formatting -----------------------------------------------------------------
+
+
+def test_format_table_alignment_and_footer() -> None:
+    result = QueryResult(
+        columns=("city", "state"),
+        rows=[("Atlanta", "GA"), ("X", "TX")],
+        elapsed=1.5,
+        mode="central",
+        total_calls=3,
+    )
+    text = format_table(result)
+    lines = text.splitlines()
+    assert lines[0].startswith("city")
+    assert "Atlanta | GA" in text
+    assert "(2 rows, 1.50 model s, 3 web service calls, central mode)" in text
+
+
+def test_format_table_truncation() -> None:
+    result = QueryResult(
+        columns=("n",),
+        rows=[(i,) for i in range(30)],
+        elapsed=0.0,
+        mode="central",
+        total_calls=0,
+    )
+    assert "(10 more rows)" in format_table(result, max_rows=20)
+
+
+# -- one-shot CLI ------------------------------------------------------------------
+
+
+def test_cli_one_shot_query() -> None:
+    code, output = run_cli(
+        ["--profile", "fast", "--query",
+         "SELECT gs.Name FROM GetAllStates gs WHERE gs.State = 'Ohio'"]
+    )
+    assert code == 0
+    assert "Ohio" in output
+    assert "1 rows" in output
+
+
+def test_cli_parallel_with_tree() -> None:
+    code, output = run_cli(
+        ["--profile", "fast", "--mode", "parallel", "--fanouts", "3,2",
+         "--tree", "--summary", "--query",
+         "SELECT gl.placename FROM GetAllStates gs, GetPlacesWithin gp, "
+         "GetPlaceList gl WHERE gs.State = gp.state AND gp.distance = 15.0 "
+         "AND gp.placeTypeToFind = 'City' AND gp.place = 'Atlanta' "
+         "AND gl.placeName = gp.ToCity + ', ' + gp.ToState "
+         "AND gl.MaxItems = 100 AND gl.imagePresence = 'true'"]
+    )
+    assert code == 0
+    assert "q0 (coordinator)" in output
+    assert "[PF1]" in output
+    assert "process tree" in output
+
+
+def test_cli_explain() -> None:
+    code, output = run_cli(
+        ["--profile", "fast", "--explain", "--query",
+         "SELECT gs.Name FROM GetAllStates gs"]
+    )
+    assert code == 0
+    assert "-- calculus --" in output
+    assert "-- plan --" in output
+
+
+def test_cli_error_reports_and_fails() -> None:
+    code, output = run_cli(["--profile", "fast", "--query", "SELECT FROM"])
+    assert code == 1
+    assert "error:" in output
+
+
+def test_cli_bad_fanouts() -> None:
+    with pytest.raises(ReproError):
+        run_cli(["--fanouts", "5,x", "--query", "SELECT 1 FROM t"])
+
+
+# -- interactive shell ------------------------------------------------------------------
+
+
+def test_shell_runs_sql_and_meta_commands(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        "\\mode parallel\n"
+        "\\fanouts 3\n"
+        "SELECT gp.ToCity FROM GetAllStates gs, GetPlacesWithin gp\n"
+        "WHERE gp.state = gs.State AND gp.place = 'Atlanta'\n"
+        "AND gp.distance = 15.0 AND gp.placeTypeToFind = 'City';\n"
+        "\\tree\n"
+        "\\summary\n"
+        "\\quit\n",
+    )
+    assert "mode = parallel" in output
+    assert "fanouts = [3]" in output
+    assert "260 rows" in output
+    assert "q0 (coordinator)" in output
+    assert "web service calls" in output
+
+
+def test_shell_multiline_statement(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        "SELECT gs.Name FROM GetAllStates gs\nWHERE gs.State = 'Utah';\n\\quit\n",
+    )
+    assert "Utah" in output
+    assert "  ...>" in output  # continuation prompt appeared
+
+
+def test_shell_reports_sql_errors_and_continues(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        "SELECT broken FROM nowhere;\n"
+        "SELECT gs.Name FROM GetAllStates gs WHERE gs.State = 'Iowa';\n"
+        "\\quit\n",
+    )
+    assert "error:" in output
+    assert "Iowa" in output
+
+
+def test_shell_owf_and_views(wsmed) -> None:
+    output = run_shell(wsmed, "\\owf GetAllStates\n\\views\n\\quit\n")
+    assert "create function GetAllStates()" in output
+    assert "CREATE VIEW GetPlacesInside" in output
+
+
+def test_shell_unknown_command(wsmed) -> None:
+    output = run_shell(wsmed, "\\frobnicate\n\\quit\n")
+    assert "unknown command" in output
+
+
+def test_shell_tree_before_query_errors(wsmed) -> None:
+    output = run_shell(wsmed, "\\tree\n\\quit\n")
+    assert "no query has been executed" in output
+
+
+def test_shell_help(wsmed) -> None:
+    output = run_shell(wsmed, "\\help\n\\quit\n")
+    assert "\\explain SQL;" in output
+
+
+def test_shell_gantt_and_util(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        "SELECT gs.Name FROM GetAllStates gs WHERE gs.State = 'Maine';\n"
+        "\\gantt\n\\util\n\\quit\n",
+    )
+    assert "#" in output  # the gantt bar of the single GetAllStates call
+    assert "util" in output.splitlines()[0] or "process" in output
+
+
+def test_shell_explain_meta(wsmed) -> None:
+    output = run_shell(
+        wsmed, "\\explain SELECT gs.Name FROM GetAllStates gs;\n\\quit\n"
+    )
+    assert "-- calculus --" in output
+
+
+def test_shell_eof_exits(wsmed) -> None:
+    output = run_shell(wsmed, "")  # immediate EOF
+    assert "WSMED shell" in output

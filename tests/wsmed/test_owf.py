@@ -1,0 +1,103 @@
+"""Tests for OWF generation and flattening."""
+
+import pytest
+
+from repro.fdb.types import CHARSTRING, REAL
+from repro.services.geodata import GeoDatabase
+from repro.services.providers import GeoPlacesProvider, USZipProvider
+from repro.services.wsdl import parse_wsdl
+from repro.util.errors import WsdlError
+from repro.wsmed.owf import generate_owf
+
+
+@pytest.fixture(scope="module")
+def geoplaces_doc():
+    provider = GeoPlacesProvider(GeoDatabase())
+    return parse_wsdl(provider.wsdl_text(), provider.uri)
+
+
+def test_owf_signature_matches_fig2(geoplaces_doc) -> None:
+    owf = generate_owf(geoplaces_doc, "GetAllStates")
+    names = [name for name, _ in owf.result_columns]
+    assert names == [
+        "Name", "Type", "State", "LatDegrees", "LonDegrees",
+        "LatRadians", "LonRadians",
+    ]
+    assert owf.result_columns[0][1] is CHARSTRING
+    assert owf.result_columns[3][1] is REAL
+    assert owf.parameters == []
+
+
+def test_owf_with_inputs(geoplaces_doc) -> None:
+    owf = generate_owf(geoplaces_doc, "GetPlacesWithin")
+    assert [name for name, _ in owf.parameters] == [
+        "place", "state", "distance", "placeTypeToFind",
+    ]
+    assert [name for name, _ in owf.result_columns] == [
+        "ToCity", "ToState", "Distance",
+    ]
+
+
+def test_owf_scalar_result() -> None:
+    provider = USZipProvider(GeoDatabase())
+    document = parse_wsdl(provider.wsdl_text(), provider.uri)
+    owf = generate_owf(document, "GetInfoByState")
+    assert [name for name, _ in owf.result_columns] == ["GetInfoByStateResult"]
+
+
+def test_owf_argument_coercion(geoplaces_doc) -> None:
+    owf = generate_owf(geoplaces_doc, "GetPlacesWithin")
+    coerced = owf.coerce_arguments(["Atlanta", "Georgia", 15, "City"])
+    assert coerced[2] == 15.0
+    assert isinstance(coerced[2], float)
+
+
+def test_render_source_mentions_cwo(geoplaces_doc) -> None:
+    owf = generate_owf(geoplaces_doc, "GetAllStates")
+    source = owf.render_source()
+    assert source.startswith("create function GetAllStates()")
+    assert "cwo(" in source
+    assert "'GeoPlaces'" in source
+
+
+def test_multiple_collections_rejected() -> None:
+    text = """
+    <definitions name="X">
+      <types><schema>
+        <element name="Req"><complexType><sequence/></complexType></element>
+        <element name="Resp"><complexType><sequence>
+          <element name="A" maxOccurs="unbounded" type="xsd:string"/>
+          <element name="B" maxOccurs="unbounded" type="xsd:string"/>
+        </sequence></complexType></element>
+      </schema></types>
+      <portType name="P">
+        <operation name="Op"><input element="Req"/><output element="Resp"/></operation>
+      </portType>
+      <service name="S"><port name="P"/></service>
+    </definitions>
+    """
+    document = parse_wsdl(text, "u")
+    with pytest.raises(WsdlError, match="single nested path"):
+        generate_owf(document, "Op")
+
+
+def test_repeated_atomic_result_flattens_to_one_column() -> None:
+    text = """
+    <definitions name="X">
+      <types><schema>
+        <element name="Req"><complexType><sequence>
+          <element name="q" type="xsd:string"/>
+        </sequence></complexType></element>
+        <element name="Resp"><complexType><sequence>
+          <element name="code" maxOccurs="unbounded" type="xsd:string"/>
+        </sequence></complexType></element>
+      </schema></types>
+      <portType name="P">
+        <operation name="Op"><input element="Req"/><output element="Resp"/></operation>
+      </portType>
+      <service name="S"><port name="P"/></service>
+    </definitions>
+    """
+    document = parse_wsdl(text, "u")
+    owf = generate_owf(document, "Op")
+    assert [name for name, _ in owf.result_columns] == ["code"]
