@@ -24,6 +24,7 @@ The package layers (see DESIGN.md for the full inventory):
 """
 
 from repro.algebra.plan import AdaptationParams
+from repro.cache import CacheConfig, CacheStats
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.tree import FanoutVector
 from repro.runtime.realtime import AsyncioKernel
@@ -57,6 +58,8 @@ Where  gs.State = gi.USState and
 
 __all__ = [
     "AdaptationParams",
+    "CacheConfig",
+    "CacheStats",
     "ProcessCosts",
     "FanoutVector",
     "AsyncioKernel",

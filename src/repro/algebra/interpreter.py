@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Callable, Optional
 
 from repro.algebra.expressions import compile_expr
+from repro.cache import CacheConfig, CallCache
 from repro.algebra.plan import (
     AFFApplyNode,
     ApplyNode,
@@ -71,6 +72,14 @@ class ExecutionContext:
     # child processes across plan-function invocations (Sec. III: children
     # receive their plan function once, before execution).
     pools: dict = field(default_factory=dict)
+    # Per-process web-service call cache (repro.cache); None disables
+    # memoization and reproduces the uncached call path exactly.  Child
+    # processes get their own empty cache — the paper's children are
+    # separate processes with no shared memory.
+    cache: Optional[CallCache] = None
+    # Every cache created for this query (coordinator + children), shared
+    # across derived contexts so the coordinator can aggregate counters.
+    cache_registry: list = field(default_factory=list)
     # Shared mutable counter for unique process names across the query.
     _name_counter: list = field(default_factory=lambda: [0])
 
@@ -78,11 +87,22 @@ class ExecutionContext:
         self._name_counter[0] += 1
         return f"q{self._name_counter[0]}"
 
+    def install_cache(self, config: CacheConfig | None) -> None:
+        """Attach a call cache to this process (no-op when disabled)."""
+        if config is None or not config.enabled:
+            return
+        self.cache = CallCache(self.kernel, config, name=self.process_name)
+        self.cache_registry.append(self.cache)
+
     def for_process(self, name: str) -> "ExecutionContext":
         """A context for a child process: shared world, private pools."""
         from dataclasses import replace
 
-        return replace(self, process_name=name, pools={})
+        ctx = replace(self, process_name=name, pools={})
+        if self.cache is not None:
+            ctx.cache = self.cache.clone_for(name)
+            self.cache_registry.append(ctx.cache)
+        return ctx
 
 
 async def iterate_plan(

@@ -1,0 +1,259 @@
+"""Memoization of web-service calls (the ``cwo`` transport).
+
+Dependent joins over skewed keys make WSMED repeat calls with *identical
+arguments* — Query2-style workloads where many upstream rows share a join
+key pay the full ``setup + rtt + queue + server`` path once per duplicate.
+A :class:`CallCache` removes that redundancy at the call boundary:
+
+* results are memoized under ``(uri, service, operation, args)`` with an
+  LRU bound and an optional TTL measured on the *model clock*, so expiry
+  behaves identically under the simulated and the asyncio kernels;
+* concurrent identical calls within one process are *collapsed*: the
+  first caller (the leader) performs the broker round trip while the
+  others park on a kernel event and share its outcome — including a
+  fault, which propagates to every collapsed waiter.
+
+Caches are strictly per query process.  The paper's children are separate
+processes with no shared memory, so a child cannot see the coordinator's
+entries; what makes per-process caches effective is routing equal keys to
+the same child (``dispatch="hash_affinity"`` in
+:mod:`repro.parallel.ff_applyp`, built on :func:`stable_hash`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Hashable
+
+from repro.runtime.base import Kernel
+from repro.util.errors import PlanError
+
+#: Outcomes of one :meth:`CallCache.call`, in trace/report vocabulary.
+HIT = "hit"
+MISS = "miss"
+COLLAPSED = "collapsed"
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic, process-independent hash of a parameter tuple.
+
+    Python's builtin ``hash`` is salted per interpreter run
+    (``PYTHONHASHSEED``), which would make affinity routing — and with it
+    every simulated timeline — irreproducible.  CRC32 over ``repr`` is
+    stable across runs and platforms for the atomic values that travel in
+    parameter tuples (str/int/float/bool).
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Tuning of the per-process call cache.
+
+    ``enabled``      master switch; the default ``False`` keeps the seed
+                     call-for-call behaviour bit-for-bit.
+    ``max_entries``  LRU bound on memoized results per process.
+    ``ttl``          lifetime of an entry in *model seconds* (``None`` =
+                     entries never expire).
+    """
+
+    enabled: bool = False
+    max_entries: int = 1024
+    ttl: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise PlanError(
+                f"cache max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.ttl is not None and self.ttl <= 0:
+            raise PlanError(f"cache ttl must be positive (or None), got {self.ttl}")
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache (or an aggregate over per-process caches).
+
+    ``hits``        lookups answered from a memoized result.
+    ``misses``      lookups that went to the broker (includes uncacheable
+                    keys and entries refreshed after expiry/eviction).
+    ``collapsed``   lookups that joined an in-flight identical call
+                    instead of issuing their own round trip.
+    ``evictions``   entries dropped by the LRU bound.
+    ``expirations`` entries dropped because their TTL elapsed.
+    ``failures``    leader calls that raised; each also propagated the
+                    fault to its collapsed waiters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    collapsed: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    failures: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.collapsed
+
+    @property
+    def calls_avoided(self) -> int:
+        """Broker round trips that memoization and collapsing removed."""
+        return self.hits + self.collapsed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a broker call; 0.0 when idle."""
+        if self.lookups == 0:
+            return 0.0
+        return self.calls_avoided / self.lookups
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another cache's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.collapsed += other.collapsed
+        self.evictions += other.evictions
+        self.expirations += other.expirations
+        self.failures += other.failures
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "collapsed": self.collapsed,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "failures": self.failures,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float | None  # model time; None = never
+
+
+class _InFlight:
+    """Single-flight rendezvous: the leader's outcome, shared by waiters."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.done = kernel.event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class CallCache:
+    """Per-process memo of web-service call results with single-flight.
+
+    One instance belongs to exactly one query process; children created by
+    ``FF_APPLYP``/``AFF_APPLYP`` get their own via
+    :meth:`~repro.algebra.interpreter.ExecutionContext.for_process`.
+    """
+
+    def __init__(
+        self, kernel: Kernel, config: CacheConfig, *, name: str = "q0"
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._in_flight: dict[Hashable, _InFlight] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clone_for(self, name: str) -> "CallCache":
+        """A fresh, empty cache for a child process (no shared memory)."""
+        return CallCache(self.kernel, self.config, name=name)
+
+    # -- lookup ------------------------------------------------------------------
+
+    async def call(
+        self, key: Hashable, invoke: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, str]:
+        """Return ``(result, outcome)`` for the call identified by ``key``.
+
+        ``invoke`` is a zero-argument callable producing the broker
+        round-trip coroutine; it is awaited only on a miss, and only by
+        the leader of a single-flight group.  ``outcome`` is one of
+        :data:`HIT`, :data:`MISS`, :data:`COLLAPSED`.  A fault raised by
+        the leader propagates to the leader and every collapsed waiter;
+        nothing is memoized, so retries reach the broker again.
+        """
+        try:
+            hash(key)
+        except TypeError:
+            # Unhashable argument (never produced by the OWF path, but the
+            # cache is public API): pass through without memoizing.
+            self.stats.misses += 1
+            return await invoke(), MISS
+
+        entry = self._lookup(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry.value, HIT
+
+        leader_of = self._in_flight.get(key)
+        if leader_of is not None:
+            self.stats.collapsed += 1
+            await leader_of.done.wait()
+            if leader_of.error is not None:
+                raise leader_of.error
+            return leader_of.value, COLLAPSED
+
+        flight = _InFlight(self.kernel)
+        self._in_flight[key] = flight
+        self.stats.misses += 1
+        try:
+            value = await invoke()
+        except BaseException as error:
+            self.stats.failures += 1
+            flight.error = error
+            raise
+        else:
+            flight.value = value
+            self._store(key, value)
+            return value, MISS
+        finally:
+            del self._in_flight[key]
+            flight.done.set()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _lookup(self, key: Hashable) -> _Entry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expires_at is not None and self.kernel.now() >= entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        expires_at = (
+            self.kernel.now() + self.config.ttl
+            if self.config.ttl is not None
+            else None
+        )
+        self._entries[key] = _Entry(value, expires_at)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+
+def aggregate_stats(caches: list[CallCache]) -> CacheStats:
+    """Fold the per-process counters of a query's caches into one report."""
+    total = CacheStats()
+    for cache in caches:
+        total.merge(cache.stats)
+    return total

@@ -24,6 +24,7 @@ import sys
 from typing import IO
 
 from repro.algebra.plan import AdaptationParams
+from repro.cache import CacheConfig
 from repro.util.errors import ReproError
 from repro.wsmed.results import QueryResult
 from repro.wsmed.system import WSMED
@@ -70,6 +71,7 @@ class Shell:
         mode: str = "central",
         fanouts: list[int] | None = None,
         retries: int = 0,
+        cache: CacheConfig | None = None,
     ) -> None:
         self.wsmed = wsmed
         self.out = out
@@ -77,6 +79,7 @@ class Shell:
         self.fanouts = fanouts
         self.adaptation = AdaptationParams()
         self.retries = retries
+        self.cache_config = cache
         self.max_rows = 20
         self.last_result: QueryResult | None = None
 
@@ -91,7 +94,13 @@ class Shell:
             kwargs["fanouts"] = self.fanouts
         elif self.mode == "adaptive":
             kwargs["adaptation"] = self.adaptation
-        result = self.wsmed.sql(sql, mode=self.mode, retries=self.retries, **kwargs)
+        result = self.wsmed.sql(
+            sql,
+            mode=self.mode,
+            retries=self.retries,
+            cache=self.cache_config,
+            **kwargs,
+        )
         self.last_result = result
         self.write(format_table(result, self.max_rows))
 
@@ -129,6 +138,8 @@ class Shell:
         elif command == "retries":
             self.retries = int(argument)
             self.write(f"retries = {self.retries}")
+        elif command == "cache":
+            self._cache_command(argument)
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -155,6 +166,28 @@ class Shell:
         else:
             raise ReproError(f"unknown command \\{command}; try \\help")
         return True
+
+    def _cache_command(self, argument: str) -> None:
+        """``\\cache [on [TTL] | off]``: toggle memoization / show counters."""
+        if argument:
+            word, _, ttl_text = argument.partition(" ")
+            word = word.strip().lower()
+            if word == "on":
+                ttl = float(ttl_text) if ttl_text.strip() else None
+                self.cache_config = CacheConfig(enabled=True, ttl=ttl)
+                suffix = f" (ttl {ttl:g} model s)" if ttl is not None else ""
+                self.write(f"cache = on{suffix}")
+            elif word == "off":
+                self.cache_config = None
+                self.write("cache = off")
+            else:
+                raise ReproError(r"usage: \cache [on [TTL] | off]")
+            return
+        if self.last_result is not None and self.last_result.cache_stats is not None:
+            self.write(self.last_result.cache_report())
+        else:
+            state = "on" if self.cache_config else "off"
+            self.write(f"call cache: {state} (no cached execution yet)")
 
     # -- the loop ------------------------------------------------------------------
 
@@ -194,6 +227,9 @@ meta commands:
   \\mode M           central | parallel | adaptive
   \\fanouts 5,4      fanout vector for parallel mode
   \\retries N        retry retriable service faults N times per call
+  \\cache            show call-cache counters of the last execution
+  \\cache on [TTL]   memoize web-service calls (optional TTL, model s)
+  \\cache off        disable the call cache
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -219,6 +255,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--profile", default="paper", choices=("paper", "fast", "uncontended")
     )
     parser.add_argument("--retries", type=int, default=0)
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize web-service calls per query process",
+    )
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
@@ -232,7 +273,12 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     wsmed.import_all()
     fanouts = _parse_fanouts(arguments.fanouts) if arguments.fanouts else None
     shell = Shell(
-        wsmed, out, mode=arguments.mode, fanouts=fanouts, retries=arguments.retries
+        wsmed,
+        out,
+        mode=arguments.mode,
+        fanouts=fanouts,
+        retries=arguments.retries,
+        cache=CacheConfig(enabled=True) if arguments.cache else None,
     )
     if arguments.query is None:
         shell.repl(sys.stdin)

@@ -27,9 +27,15 @@ class ProcessCosts:
     ``message_latency``transit time of any inter-process message.
     ``dispatch``       parameter-tuple dispatch policy: ``first_finished``
                        (the paper's FF policy — the next pending tuple goes
-                       to whichever child finished first) or ``round_robin``
+                       to whichever child finished first), ``round_robin``
                        (tuples are dealt out in fixed rotation regardless of
-                       child progress; the ablation baseline).
+                       child progress; the ablation baseline), or
+                       ``hash_affinity`` (tuples are routed to a child by a
+                       stable hash of the parameter tuple so repeated keys
+                       land on the same child — which is what makes that
+                       child's per-process call cache accumulate hits —
+                       falling back to first-finished placement while the
+                       affinity target is saturated).
     ``prefetch``       how many parameter tuples a child may have
                        outstanding.  1 is the paper's protocol (next tuple
                        only after end-of-call); larger values pipeline the
@@ -63,13 +69,17 @@ class ProcessCosts:
         ):
             if getattr(self, name) < 0:
                 raise PlanError(f"process cost {name} must be non-negative")
-        if self.dispatch not in ("first_finished", "round_robin"):
+        if self.dispatch not in ("first_finished", "round_robin", "hash_affinity"):
             raise PlanError(f"unknown dispatch policy {self.dispatch!r}")
         if self.prefetch < 1:
             raise PlanError(f"prefetch depth must be >= 1, got {self.prefetch}")
 
     def scaled(self, factor: float) -> "ProcessCosts":
         """All costs multiplied by ``factor`` (pairs with profile scaling)."""
+        if factor < 0:
+            raise PlanError(
+                f"process cost scale factor must be non-negative, got {factor}"
+            )
         return replace(
             self,
             startup=self.startup * factor,

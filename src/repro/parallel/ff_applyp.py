@@ -20,6 +20,7 @@ from typing import AsyncIterator
 
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import PlanFunction
+from repro.cache import stable_hash
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
     ChildError,
@@ -122,10 +123,10 @@ class ChildPool:
         child.outstanding = max(0, child.outstanding - 1)
         if self.costs.prefetch > 1:
             if self._pending and child.outstanding < self.costs.prefetch:
-                self._dispatch_now(child, self._pending.popleft())
+                self._dispatch_now(child, self._take_pending(child))
             return
         if self._pending:
-            self._dispatch_now(child, self._pending.popleft())
+            self._dispatch_now(child, self._take_pending(child))
         else:
             self._idle.append(child)
 
@@ -133,6 +134,24 @@ class ChildPool:
         self._seq += 1
         child.outstanding += 1
         child.endpoints.downlink.send(ParamTuple(self._seq, row))
+
+    def _affinity_target(self, row: tuple) -> _Child:
+        """The child a tuple hashes to under ``hash_affinity`` dispatch."""
+        return self.children[stable_hash(row) % len(self.children)]
+
+    def _take_pending(self, child: _Child) -> tuple:
+        """Pop the pending tuple this child should run next.
+
+        Under ``hash_affinity``, a tuple whose affinity target is this
+        child is preferred, so keys keep landing on the child that has
+        them cached; otherwise (and for all other policies) FIFO order.
+        """
+        if self.costs.dispatch == "hash_affinity" and len(self.children) > 1:
+            for index, row in enumerate(self._pending):
+                if self._affinity_target(row) is child:
+                    del self._pending[index]
+                    return row
+        return self._pending.popleft()
 
     async def _dispatch(self, row: tuple) -> None:
         """Ship one parameter tuple (parent pays the shipping cost)."""
@@ -142,10 +161,21 @@ class ChildPool:
             # waiting for end-of-call; a slow child accumulates a queue.
             child = self.children[self._rotation % len(self.children)]
             self._rotation += 1
-            self._seq += 1
-            child.outstanding += 1
-            child.endpoints.downlink.send(ParamTuple(self._seq, row))
+            self._dispatch_now(child, row)
             return
+        if self.costs.dispatch == "hash_affinity" and self.children:
+            # Cache-affinity placement: route the tuple to the child its
+            # key hashes to, so identical keys hit that child's local
+            # call cache.  A saturated target falls back to the policies
+            # below — first-finished placement beats a growing queue.
+            target = self._affinity_target(row)
+            if target.outstanding < self.costs.prefetch:
+                try:
+                    self._idle.remove(target)
+                except ValueError:
+                    pass
+                self._dispatch_now(target, row)
+                return
         if self.costs.prefetch > 1:
             # Pipelined dispatch: the least-loaded child with room takes
             # the tuple (first-finished generalized to depth > 1).

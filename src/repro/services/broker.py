@@ -37,6 +37,8 @@ class CallStats:
     calls: int = 0
     rows: int = 0
     bytes_transferred: int = 0
+    faults: int = 0  # injected transient ServiceFaults raised by the server
+    timeouts: int = 0  # calls that lost the race against profile.timeout
     queue_wait: RunningStat = field(default_factory=RunningStat)
     server_time: RunningStat = field(default_factory=RunningStat)
     total_time: RunningStat = field(default_factory=RunningStat)
@@ -167,6 +169,7 @@ class ServiceBroker:
                 profile.timeout,
             )
         except TimeoutError:
+            self.stats(operation).timeouts += 1
             raise ServiceFault(
                 f"{service}.{operation} timed out after "
                 f"{profile.timeout} model seconds",
@@ -198,6 +201,7 @@ class ServiceBroker:
             stats.queue_wait.add(kernel.now() - queue_entered)
             if self.fault_rate and self._rng.random() < self.fault_rate:
                 await kernel.sleep(profile.service_time)
+                stats.faults += 1
                 raise ServiceFault(
                     f"{service}.{operation} failed transiently", retriable=True
                 )

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.util.errors import PlanError
+
 
 @dataclass(frozen=True)
 class EndpointProfile:
@@ -91,6 +93,10 @@ class EndpointProfile:
 
     def scaled(self, factor: float) -> "EndpointProfile":
         """A profile with all time constants multiplied by ``factor``."""
+        if factor < 0:
+            raise PlanError(
+                f"endpoint profile scale factor must be non-negative, got {factor}"
+            )
         return replace(
             self,
             rtt=self.rtt * factor,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.algebra.interpreter import ExecutionContext
+from repro.cache import MISS
 from repro.fdb.functions import FunctionDef, FunctionKind, Parameter
 from repro.fdb.types import AtomicType, BOOLEAN, REAL, TupleType
 from repro.fdb.values import Record
@@ -130,19 +131,7 @@ class OperationWrapper:
         while True:
             started = ctx.kernel.now()
             try:
-                out = await ctx.broker.call(
-                    self.document.uri,
-                    self.document.service_name,
-                    self.name,
-                    coerced,
-                )
-                ctx.trace.record(
-                    ctx.kernel.now(),
-                    "service_call",
-                    process=ctx.process_name,
-                    operation=self.name,
-                    duration=ctx.kernel.now() - started,
-                )
+                out = await self._invoke(ctx, coerced, started)
                 break
             except ServiceFault as fault:
                 attempt += 1
@@ -160,6 +149,54 @@ class OperationWrapper:
         for response in out:  # `out` is a Sequence (Fig 2 line 15)
             self._flatten(response, 0, (), rows)
         return rows
+
+    async def _invoke(self, ctx: ExecutionContext, coerced: list, started: float):
+        """One ``cwo`` transport round trip, memoized when a cache is on.
+
+        A cache hit (or a collapse onto an in-flight identical call) skips
+        the broker entirely and is recorded as a ``cache_hit`` /
+        ``cache_collapse`` trace event instead of a ``service_call``, so
+        traces distinguish real round trips from avoided ones.
+        """
+        if ctx.cache is None:
+            out = await ctx.broker.call(
+                self.document.uri,
+                self.document.service_name,
+                self.name,
+                coerced,
+            )
+            outcome = MISS
+        else:
+            out, outcome = await ctx.cache.call(
+                (
+                    self.document.uri,
+                    self.document.service_name,
+                    self.name,
+                    tuple(coerced),
+                ),
+                lambda: ctx.broker.call(
+                    self.document.uri,
+                    self.document.service_name,
+                    self.name,
+                    coerced,
+                ),
+            )
+        if outcome == MISS:
+            ctx.trace.record(
+                ctx.kernel.now(),
+                "service_call",
+                process=ctx.process_name,
+                operation=self.name,
+                duration=ctx.kernel.now() - started,
+            )
+        else:
+            ctx.trace.record(
+                ctx.kernel.now(),
+                f"cache_{outcome}",
+                process=ctx.process_name,
+                operation=self.name,
+            )
+        return out
 
     def _flatten(
         self, value, level_index: int, prefix: tuple, rows: list[tuple]

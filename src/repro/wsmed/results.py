@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.cache import CacheStats
 from repro.fdb.values import Bag
 from repro.parallel.tree import TreeStats
 from repro.services.broker import CallStats
@@ -28,6 +29,9 @@ class QueryResult:
     trace: TraceLog = field(default_factory=TraceLog)
     tree: TreeStats = field(default_factory=TreeStats)
     plan_text: str = ""
+    # Aggregated web-service call-cache counters across all query
+    # processes; None when the query ran without a cache.
+    cache_stats: CacheStats | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -67,6 +71,7 @@ class QueryResult:
                 }
                 for name, stats in sorted(self.call_stats.items())
             },
+            "cache": self.cache_stats.as_dict() if self.cache_stats else None,
             "tree": {
                 "processes_spawned": self.tree.processes_spawned,
                 "processes_dropped": self.tree.processes_dropped,
@@ -108,4 +113,18 @@ class QueryResult:
                 f"{self.tree.processes_dropped} dropped, "
                 f"avg fanouts {['%.1f' % f for f in self.tree.average_fanouts()]}"
             )
+        if self.cache_stats is not None:
+            lines.append("  " + self.cache_report())
         return "\n".join(lines)
+
+    def cache_report(self) -> str:
+        """One-line call-cache report (the CLI's ``\\cache`` output)."""
+        if self.cache_stats is None:
+            return "call cache: off"
+        stats = self.cache_stats
+        return (
+            f"call cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.collapsed} collapsed, {stats.evictions} evicted, "
+            f"{stats.expirations} expired "
+            f"({stats.hit_rate:.0%} hit rate, {stats.calls_avoided} calls avoided)"
+        )

@@ -32,6 +32,7 @@ from repro.algebra.cost import CostModel, estimate_plan
 from repro.algebra.explain import render_plan
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import AdaptationParams, PlanNode
+from repro.cache import CacheConfig, aggregate_stats
 from repro.calculus.generator import generate_calculus
 from repro.fdb.catalog import Catalog
 from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
@@ -83,10 +84,14 @@ class WSMED:
         profile: str = "paper",
         seed: int = 2009,
         process_costs: ProcessCosts | None = None,
+        cache: CacheConfig | None = None,
     ) -> None:
         self.registry = registry or build_registry(profile, seed=seed)
         self.seed = seed
         self.process_costs = process_costs or _default_costs(profile)
+        # Default web-service call cache configuration; None (or a config
+        # with enabled=False) executes every call against the broker.
+        self.cache_config = cache
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self._wrappers: dict[str, object] = {}
@@ -287,6 +292,7 @@ class WSMED:
         kernel: Kernel | None = None,
         fault_rate: float = 0.0,
         retries: int = 0,
+        cache: CacheConfig | None = None,
         name: str = "Query",
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
@@ -294,7 +300,9 @@ class WSMED:
         ``kernel`` defaults to a fresh simulated kernel (virtual time);
         pass an :class:`~repro.runtime.realtime.AsyncioKernel` to execute
         with real concurrency.  ``retries`` retries retriable service
-        faults per call before giving up.
+        faults per call before giving up.  ``cache`` overrides the
+        system-wide :class:`~repro.cache.CacheConfig` for this query;
+        when enabled, every query process memoizes its web-service calls.
         """
         mode = ExecutionMode.of(mode)
         plan = self.plan(
@@ -308,6 +316,7 @@ class WSMED:
             functions=self.functions,
             retries=retries,
         )
+        ctx.install_cache(cache if cache is not None else self.cache_config)
         executor = ParallelExecutor(ctx, self.process_costs)
 
         async def timed() -> tuple[list[tuple], float]:
@@ -326,4 +335,7 @@ class WSMED:
             trace=ctx.trace,
             tree=tree_stats_from_trace(ctx.trace),
             plan_text=render_plan(plan),
+            cache_stats=(
+                aggregate_stats(ctx.cache_registry) if ctx.cache_registry else None
+            ),
         )

@@ -1,0 +1,266 @@
+"""Unit tests for the web-service call cache.
+
+Every behavioral test runs under both kernels: the cache keys TTLs and
+single-flight parking off kernel primitives only, so it must behave the
+same under virtual time and under ``asyncio``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    COLLAPSED,
+    HIT,
+    MISS,
+    CacheConfig,
+    CacheStats,
+    CallCache,
+    aggregate_stats,
+    stable_hash,
+)
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.simulated import SimKernel
+from repro.util.errors import PlanError, ServiceFault
+
+
+@pytest.fixture(params=["sim", "asyncio"])
+def kernel(request):
+    if request.param == "sim":
+        return SimKernel()
+    return AsyncioKernel(time_scale=0.001)
+
+
+class Invoker:
+    """A fake broker call that counts invocations."""
+
+    def __init__(self, kernel, delay: float = 0.0, error: Exception | None = None):
+        self.kernel = kernel
+        self.delay = delay
+        self.error = error
+        self.calls = 0
+
+    async def __call__(self):
+        self.calls += 1
+        if self.delay:
+            await self.kernel.sleep(self.delay)
+        if self.error is not None:
+            raise self.error
+        return f"result-{self.calls}"
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def test_config_rejects_bad_bounds() -> None:
+    with pytest.raises(PlanError):
+        CacheConfig(max_entries=0)
+    with pytest.raises(PlanError):
+        CacheConfig(ttl=0.0)
+    with pytest.raises(PlanError):
+        CacheConfig(ttl=-1.0)
+
+
+def test_config_disabled_by_default() -> None:
+    assert CacheConfig().enabled is False
+
+
+# -- hit / miss --------------------------------------------------------------
+
+
+def test_hit_after_miss(kernel) -> None:
+    cache = CallCache(kernel, CacheConfig(enabled=True))
+    invoke = Invoker(kernel)
+
+    async def main():
+        first = await cache.call(("op", ("a",)), invoke)
+        second = await cache.call(("op", ("a",)), invoke)
+        third = await cache.call(("op", ("b",)), invoke)
+        return first, second, third
+
+    first, second, third = kernel.run(main())
+    assert first == ("result-1", MISS)
+    assert second == ("result-1", HIT)
+    assert third == ("result-2", MISS)
+    assert invoke.calls == 2
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 2
+    assert cache.stats.lookups == 3
+    assert cache.stats.calls_avoided == 1
+    assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+def test_unhashable_key_bypasses_cache(kernel) -> None:
+    cache = CallCache(kernel, CacheConfig(enabled=True))
+    invoke = Invoker(kernel)
+
+    async def main():
+        for _ in range(2):
+            await cache.call(("op", (["unhashable"],)), invoke)
+
+    kernel.run(main())
+    assert invoke.calls == 2
+    assert len(cache) == 0
+    assert cache.stats.misses == 2
+
+
+# -- LRU eviction ------------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_used(kernel) -> None:
+    cache = CallCache(kernel, CacheConfig(enabled=True, max_entries=2))
+    invoke = Invoker(kernel)
+
+    async def main():
+        await cache.call("a", invoke)
+        await cache.call("b", invoke)
+        await cache.call("a", invoke)  # refresh a: b is now the LRU entry
+        await cache.call("c", invoke)  # evicts b
+        _, a_outcome = await cache.call("a", invoke)
+        _, b_outcome = await cache.call("b", invoke)
+        return a_outcome, b_outcome
+
+    a_outcome, b_outcome = kernel.run(main())
+    assert a_outcome == HIT
+    assert b_outcome == MISS
+    assert len(cache) == 2
+    assert cache.stats.evictions == 2  # c pushed out b, then b pushed out c
+
+
+# -- TTL on the model clock ---------------------------------------------------
+
+
+def test_ttl_expires_on_model_clock() -> None:
+    kernel = SimKernel()
+    cache = CallCache(kernel, CacheConfig(enabled=True, ttl=10.0))
+    invoke = Invoker(kernel)
+
+    async def main():
+        await cache.call("k", invoke)
+        await kernel.sleep(5.0)
+        _, fresh = await cache.call("k", invoke)
+        await kernel.sleep(6.0)  # 11 model seconds after the store
+        _, stale = await cache.call("k", invoke)
+        return fresh, stale
+
+    fresh, stale = kernel.run(main())
+    assert fresh == HIT
+    assert stale == MISS
+    assert invoke.calls == 2
+    assert cache.stats.expirations == 1
+
+
+def test_ttl_under_realtime_kernel() -> None:
+    # Same schedule, real concurrency: TTLs are model seconds, so at
+    # scale 0.001 an 11-model-second wait still expires a 10s TTL.
+    kernel = AsyncioKernel(time_scale=0.001)
+    cache = CallCache(kernel, CacheConfig(enabled=True, ttl=10.0))
+    invoke = Invoker(kernel)
+
+    async def main():
+        await cache.call("k", invoke)
+        await kernel.sleep(11.0)
+        _, outcome = await cache.call("k", invoke)
+        return outcome
+
+    assert kernel.run(main()) == MISS
+    assert invoke.calls == 2
+
+
+# -- single-flight collapsing -------------------------------------------------
+
+
+def test_concurrent_identical_calls_collapse(kernel) -> None:
+    cache = CallCache(kernel, CacheConfig(enabled=True))
+    invoke = Invoker(kernel, delay=1.0)
+
+    async def one():
+        return await cache.call("hot", invoke)
+
+    async def main():
+        return await kernel.gather(*[one() for _ in range(5)])
+
+    results = kernel.run(main())
+    assert invoke.calls == 1
+    values = {value for value, _ in results}
+    assert values == {"result-1"}
+    outcomes = sorted(outcome for _, outcome in results)
+    assert outcomes == [COLLAPSED] * 4 + [MISS]
+    assert cache.stats.collapsed == 4
+    assert cache.stats.misses == 1
+
+
+def test_fault_during_collapsed_call_reaches_all_waiters(kernel) -> None:
+    fault = ServiceFault("boom", retriable=True)
+    cache = CallCache(kernel, CacheConfig(enabled=True))
+    invoke = Invoker(kernel, delay=1.0, error=fault)
+
+    async def one():
+        try:
+            await cache.call("hot", invoke)
+        except ServiceFault as error:
+            return str(error)
+        return None
+
+    async def main():
+        return await kernel.gather(*[one() for _ in range(3)])
+
+    errors = kernel.run(main())
+    assert errors == ["boom"] * 3
+    assert invoke.calls == 1  # one broker round trip, three failures seen
+    assert cache.stats.failures == 1
+    assert cache.stats.collapsed == 2
+
+    # Failures are not memoized: the next call goes back to the broker.
+    invoke.error = None
+
+    async def retry():
+        return await cache.call("hot", invoke)
+
+    value, outcome = kernel.run(retry())
+    assert outcome == MISS
+    assert invoke.calls == 2
+    assert value == "result-2"
+
+
+# -- stats plumbing ----------------------------------------------------------
+
+
+def test_aggregate_stats_merges_clones() -> None:
+    kernel = SimKernel()
+    parent = CallCache(kernel, CacheConfig(enabled=True), name="q0")
+    child = parent.clone_for("q1")
+    invoke = Invoker(kernel)
+
+    async def main():
+        await parent.call("k", invoke)
+        await parent.call("k", invoke)
+        await child.call("k", invoke)  # per-process cache: its own miss
+
+    kernel.run(main())
+    assert invoke.calls == 2
+    merged = aggregate_stats([parent, child])
+    assert merged.hits == 1
+    assert merged.misses == 2
+    assert merged.as_dict()["hits"] == 1
+
+
+def test_cache_stats_merge_and_rates() -> None:
+    stats = CacheStats(hits=3, misses=1)
+    stats.merge(CacheStats(hits=1, misses=1, collapsed=2, evictions=4))
+    assert stats.hits == 4
+    assert stats.misses == 2
+    assert stats.collapsed == 2
+    assert stats.evictions == 4
+    assert stats.lookups == 8
+    assert stats.calls_avoided == 6
+    # collapsed lookups avoided a broker call too, so they count as hits
+    assert stats.hit_rate == pytest.approx(6 / 8)
+    assert CacheStats().hit_rate == 0.0
+
+
+def test_stable_hash_is_deterministic() -> None:
+    key = ("uri", "Zipcodes", "GetPlacesInside", ("80840",))
+    assert stable_hash(key) == stable_hash(("uri", "Zipcodes", "GetPlacesInside", ("80840",)))
+    assert stable_hash(key) != stable_hash(("uri", "Zipcodes", "GetPlacesInside", ("30301",)))
+    assert stable_hash(key) >= 0

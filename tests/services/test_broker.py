@@ -170,3 +170,27 @@ def test_endpoint_profile_scaled() -> None:
     assert scaled.sequential_call_time(10) == pytest.approx(
         profile.sequential_call_time(10) * 0.01
     )
+
+
+def test_injected_faults_are_counted() -> None:
+    registry = build_registry("fast")
+    kernel = SimKernel()
+    broker = registry.bind(kernel, fault_rate=0.5)
+
+    async def main():
+        faulted = 0
+        for _ in range(20):
+            try:
+                await broker.call(
+                    ZIPCODES_URI, "Zipcodes", "GetPlacesInside", ["80840"]
+                )
+            except ServiceFault:
+                faulted += 1
+        return faulted
+
+    faulted = kernel.run(main())
+    stats = broker.stats("GetPlacesInside")
+    assert 0 < faulted < 20  # the seeded RNG faults some but not all
+    assert stats.faults == faulted
+    assert stats.timeouts == 0
+    assert stats.calls == 20 - faulted  # only completed calls count

@@ -75,3 +75,10 @@ def test_server_time_monotone_in_load_and_rows(overload, rows, noise) -> None:
     assert base > 0
     assert profile.server_time(rows, noise, overload + 1) >= base
     assert profile.server_time(rows + 1, noise, overload) >= base
+
+
+def test_scaled_rejects_negative_factor() -> None:
+    from repro.util.errors import PlanError
+
+    with pytest.raises(PlanError, match="non-negative"):
+        EndpointProfile().scaled(-0.5)

@@ -123,3 +123,25 @@ def test_timeout_validation() -> None:
 
     with pytest.raises(ValueError, match="timeout"):
         EndpointProfile(timeout=0.0)
+
+
+def test_timeouts_are_counted() -> None:
+    registry = registry_with_uszip_timeout(5.0)
+    kernel = SimKernel()
+    broker = registry.bind(kernel)
+
+    async def main():
+        timed_out = 0
+        for _ in range(3):
+            try:
+                await broker.call(USZIP_URI, "USZip", "GetInfoByState", ["Ohio"])
+            except ServiceFault:
+                timed_out += 1
+        return timed_out
+
+    timed_out = kernel.run(main())
+    assert timed_out == 3
+    stats = broker.stats("GetInfoByState")
+    assert stats.timeouts == 3
+    assert stats.faults == 0
+    assert stats.calls == 0  # none completed

@@ -192,3 +192,47 @@ def test_shell_explain_meta(wsmed) -> None:
 def test_shell_eof_exits(wsmed) -> None:
     output = run_shell(wsmed, "")  # immediate EOF
     assert "WSMED shell" in output
+
+
+# -- call cache ------------------------------------------------------------------
+
+
+def test_shell_cache_toggle_and_report(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        "\\cache\n"
+        "\\cache on\n"
+        "SELECT gs.Name FROM GetAllStates gs LIMIT 3;\n"
+        "\\cache\n"
+        "\\cache off\n"
+        "\\quit\n",
+    )
+    assert "call cache: off (no cached execution yet)" in output
+    assert "cache = on" in output
+    assert "call cache: 0 hits, 1 misses" in output
+    assert "cache = off" in output
+
+
+def test_shell_cache_on_with_ttl(wsmed) -> None:
+    output = run_shell(wsmed, "\\cache on 30\n\\quit\n")
+    assert "cache = on (ttl 30 model s)" in output
+
+
+def test_shell_cache_bad_argument(wsmed) -> None:
+    output = run_shell(wsmed, "\\cache maybe\n\\quit\n")
+    assert "usage: \\cache [on [TTL] | off]" in output
+
+
+def test_cli_cache_flag_reports_in_summary() -> None:
+    code, output = run_cli(
+        [
+            "--profile",
+            "fast",
+            "--cache",
+            "--summary",
+            "--query",
+            "SELECT gs.Name FROM GetAllStates gs LIMIT 3",
+        ]
+    )
+    assert code == 0
+    assert "call cache:" in output
