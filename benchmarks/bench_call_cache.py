@@ -93,9 +93,37 @@ def _report(results) -> None:
         )
 
 
+def _emit_json(results) -> None:
+    from benchmarks.report import save_bench_json
+
+    save_bench_json(
+        "call_cache",
+        {
+            "workload": {
+                "sql": "GetPlacesInside per zip (skewed keys)",
+                "tuples": 392,
+                "distinct_keys": HOT_KEYS + COLD_KEYS,
+                "fanouts": FANOUTS,
+            },
+            "runs": [
+                {
+                    "label": label,
+                    "elapsed": result.elapsed,
+                    "total_calls": result.total_calls,
+                    "hit_rate": (
+                        result.cache_stats.hit_rate if result.cache_stats else None
+                    ),
+                }
+                for label, result in results.items()
+            ],
+        },
+    )
+
+
 def test_call_cache_skewed_keys(benchmark) -> None:
     results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     _report(results)
+    _emit_json(results)
 
     baseline = results["central off"].as_bag()
     assert all(result.as_bag() == baseline for result in results.values())
@@ -121,7 +149,9 @@ def test_call_cache_skewed_keys(benchmark) -> None:
 
 
 def main() -> None:
-    _report(_sweep())
+    results = _sweep()
+    _report(results)
+    _emit_json(results)
 
 
 if __name__ == "__main__":

@@ -7,13 +7,24 @@ Usage::
 Prints, in order: the central baselines, the Fig 16 and Fig 17 grids, the
 tree-shape comparison, the Fig 21 adaptive sweep, the adaptation timeline
 and the ablations.  EXPERIMENTS.md records a snapshot of this output.
+
+Benches that track a perf trajectory across PRs additionally write
+machine-readable snapshots via :func:`save_bench_json` into
+``benchmarks/results/BENCH_<name>.json`` (override the directory with the
+``BENCH_RESULTS_DIR`` environment variable).
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 from benchmarks import (
     bench_ablations,
     bench_adaptation_trace,
+    bench_batching,
+    bench_call_cache,
     bench_central_plans,
     bench_fig16_query1_grid,
     bench_fig17_query2_grid,
@@ -35,7 +46,25 @@ SECTIONS = (
     ("Ablations", bench_ablations.main),
     ("Prefetch depth ablation", bench_prefetch.main),
     ("Workload scaling", bench_scaling.main),
+    ("Call cache (skewed keys)", bench_call_cache.main),
+    ("Micro-batching (batch size x fanout)", bench_batching.main),
 )
+
+
+def save_bench_json(name: str, payload: dict) -> Path:
+    """Write one bench's machine-readable results and return the path.
+
+    Results land in ``benchmarks/results/BENCH_<name>.json`` next to this
+    module (or under ``$BENCH_RESULTS_DIR``), so the perf trajectory can
+    be diffed across PRs.
+    """
+    directory = Path(
+        os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def main() -> None:

@@ -67,10 +67,12 @@ class ExecutionContext:
     # Name of the query process this context belongs to (q0 = coordinator);
     # child processes run under a derived context with their own name.
     process_name: str = "q0"
-    # Operator pools owned by this process, keyed by plan-node identity.
-    # Each FF_APPLYP/AFF_APPLYP node instance keeps one persistent pool of
-    # child processes across plan-function invocations (Sec. III: children
-    # receive their plan function once, before execution).
+    # Operator pools owned by this process, keyed by the plan node's stable
+    # `node_id` (assigned at plan-build time; id(node) is unsafe because a
+    # collected node's address can be reused).  Each FF_APPLYP/AFF_APPLYP
+    # node instance keeps one persistent pool of child processes across
+    # plan-function invocations (Sec. III: children receive their plan
+    # function once, before execution).
     pools: dict = field(default_factory=dict)
     # Per-process web-service call cache (repro.cache); None disables
     # memoization and reproduces the uncached call path exactly.  Child

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from itertools import count
 
 from repro.algebra.expressions import (
     RowExpr,
@@ -409,6 +409,16 @@ class PlanFunction:
         )
 
 
+# Stable identities for parallel operator nodes, assigned at plan-build
+# time.  Executor pools are keyed on these (never on ``id(node)``, which
+# the allocator can reuse after a node is garbage collected).
+_operator_ids = count(1)
+
+
+def _next_operator_id(prefix: str) -> str:
+    return f"{prefix}-{next(_operator_ids)}"
+
+
 @dataclass
 class FFApplyNode(PlanNode):
     """``FF_APPLYP(pf, fo, pstream)``: parallel apply of a plan function."""
@@ -417,6 +427,7 @@ class FFApplyNode(PlanNode):
     plan_function: PlanFunction
     fanout: int
     schema: tuple[str, ...] = field(init=False)
+    node_id: str = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -427,6 +438,7 @@ class FFApplyNode(PlanNode):
                 f"plan function parameters {self.plan_function.param_schema}"
             )
         self.schema = self.plan_function.result_schema
+        self.node_id = _next_operator_id("ff")
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -442,6 +454,7 @@ class FFApplyNode(PlanNode):
             "child": self.child.to_dict(),
             "plan_function": self.plan_function.to_dict(),
             "fanout": self.fanout,
+            "node_id": self.node_id,
         }
 
 
@@ -453,6 +466,7 @@ class AFFApplyNode(PlanNode):
     plan_function: PlanFunction
     params: AdaptationParams
     schema: tuple[str, ...] = field(init=False)
+    node_id: str = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if tuple(self.child.schema) != tuple(self.plan_function.param_schema):
@@ -461,6 +475,7 @@ class AFFApplyNode(PlanNode):
                 f"plan function parameters {self.plan_function.param_schema}"
             )
         self.schema = self.plan_function.result_schema
+        self.node_id = _next_operator_id("aff")
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -477,6 +492,7 @@ class AFFApplyNode(PlanNode):
             "child": self.child.to_dict(),
             "plan_function": self.plan_function.to_dict(),
             "params": self.params.to_dict(),
+            "node_id": self.node_id,
         }
 
 
@@ -528,17 +544,21 @@ def plan_from_dict(data: dict) -> PlanNode:
             conditions=tuple(tuple(pair) for pair in data["conditions"]),
         )
     if kind == "ff_apply":
-        return FFApplyNode(
+        node = FFApplyNode(
             child=plan_from_dict(data["child"]),
             plan_function=PlanFunction.from_dict(data["plan_function"]),
             fanout=data["fanout"],
         )
+        node.node_id = data.get("node_id", node.node_id)
+        return node
     if kind == "aff_apply":
-        return AFFApplyNode(
+        node = AFFApplyNode(
             child=plan_from_dict(data["child"]),
             plan_function=PlanFunction.from_dict(data["plan_function"]),
             params=AdaptationParams.from_dict(data["params"]),
         )
+        node.node_id = data.get("node_id", node.node_id)
+        return node
     raise PlanError(f"cannot deserialize plan node from {data!r}")
 
 

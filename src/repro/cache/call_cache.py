@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Hashable
 
 from repro.runtime.base import Kernel

@@ -14,13 +14,14 @@ Interactive::
 
 Meta commands: ``\\views``, ``\\owf NAME``, ``\\mode``, ``\\fanouts``,
 ``\\profile``, ``\\explain SQL;``, ``\\tree``, ``\\summary``, ``\\rows N``,
-``\\help``, ``\\quit``.
+``\\batch``, ``\\help``, ``\\quit``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import IO
 
 from repro.algebra.plan import AdaptationParams
@@ -82,6 +83,10 @@ class Shell:
         self.cache_config = cache
         self.max_rows = 20
         self.last_result: QueryResult | None = None
+        # Micro-batching overrides applied on top of the system's cost
+        # model per query (keys of ProcessCosts: batch_size, batch_linger,
+        # batch_adaptive).  Empty = the per-tuple seed protocol.
+        self.batch: dict[str, object] = {}
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -94,6 +99,10 @@ class Shell:
             kwargs["fanouts"] = self.fanouts
         elif self.mode == "adaptive":
             kwargs["adaptation"] = self.adaptation
+        if self.batch:
+            kwargs["process_costs"] = replace(
+                self.wsmed.process_costs, **self.batch
+            )
         result = self.wsmed.sql(
             sql,
             mode=self.mode,
@@ -140,6 +149,8 @@ class Shell:
             self.write(f"retries = {self.retries}")
         elif command == "cache":
             self._cache_command(argument)
+        elif command == "batch":
+            self._batch_command(argument)
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -189,6 +200,42 @@ class Shell:
             state = "on" if self.cache_config else "off"
             self.write(f"call cache: {state} (no cached execution yet)")
 
+    def _batch_command(self, argument: str) -> None:
+        """``\\batch [N | adaptive | linger T | off]``: micro-batching."""
+        if argument:
+            word, _, rest = argument.partition(" ")
+            word = word.strip().lower()
+            if word == "off":
+                self.batch = {}
+                self.write("batch = off (per-tuple protocol)")
+            elif word == "adaptive":
+                self.batch["batch_adaptive"] = True
+                self.write("batch = adaptive")
+            elif word == "linger":
+                try:
+                    linger = float(rest)
+                except ValueError:
+                    raise ReproError(
+                        r"usage: \batch linger T (model seconds)"
+                    ) from None
+                self.batch["batch_linger"] = linger
+                self.write(f"batch linger = {linger:g} model s")
+            else:
+                try:
+                    self.batch["batch_size"] = int(word)
+                except ValueError:
+                    raise ReproError(
+                        r"usage: \batch [N | adaptive | linger T | off]"
+                    ) from None
+                self.write(f"batch size = {self.batch['batch_size']}")
+            return
+        if self.last_result is not None:
+            self.write(self.last_result.batch_report())
+        elif self.batch:
+            self.write(f"batching = {self.batch} (no execution yet)")
+        else:
+            self.write("batching = off (no execution yet)")
+
     # -- the loop ------------------------------------------------------------------
 
     def repl(self, source: IO[str]) -> None:
@@ -230,6 +277,11 @@ meta commands:
   \\cache            show call-cache counters of the last execution
   \\cache on [TTL]   memoize web-service calls (optional TTL, model s)
   \\cache off        disable the call cache
+  \\batch            show message/batch counters of the last execution
+  \\batch N          coalesce N parameter/result tuples per message
+  \\batch adaptive   adapt the batch size per child at run time
+  \\batch linger T   flush partial batches after T model seconds
+  \\batch off        back to the per-tuple protocol
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -260,6 +312,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="memoize web-service calls per query process",
     )
+    parser.add_argument(
+        "--batch",
+        metavar="N|adaptive",
+        help="micro-batch N tuples per message, or adapt per child",
+    )
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
@@ -280,6 +337,19 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         retries=arguments.retries,
         cache=CacheConfig(enabled=True) if arguments.cache else None,
     )
+    if arguments.batch:
+        if arguments.batch.strip().lower() == "adaptive":
+            shell.batch["batch_adaptive"] = True
+        else:
+            try:
+                shell.batch["batch_size"] = int(arguments.batch)
+            except ValueError:
+                print(
+                    f"error: --batch expects a size or 'adaptive', "
+                    f"got {arguments.batch!r}",
+                    file=out,
+                )
+                return 1
     if arguments.query is None:
         shell.repl(sys.stdin)
         return 0

@@ -11,7 +11,7 @@ order dependent calls (Sec. II).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.fdb.types import AtomicType, TupleType

@@ -51,6 +51,7 @@ class AFFPool(ChildPool):
         self._cycle_started_at = 0.0
         self._eoc_in_cycle = 0
         self._results_in_cycle = 0
+        self._service_in_cycle = 0.0
 
     # -- lifecycle hooks --------------------------------------------------------
 
@@ -70,6 +71,7 @@ class AFFPool(ChildPool):
 
     async def on_end_of_call(self, message: EndOfCall) -> None:
         self._eoc_in_cycle += 1
+        self._service_in_cycle += message.service_time
         if self._eoc_in_cycle < len(self.children):
             return
         await self._finish_cycle()
@@ -81,7 +83,11 @@ class AFFPool(ChildPool):
         now = kernel.now()
         duration = now - self._cycle_started_at
         tuples = self._results_in_cycle
+        calls = self._eoc_in_cycle
         time_per_tuple = duration / tuples if tuples else math.inf
+        # Mean child-side occupancy per call — distinguishes slow calls
+        # (high mean_service_time) from large results (high tuples).
+        mean_service_time = self._service_in_cycle / calls if calls else 0.0
         self.ctx.trace.record(
             now,
             "cycle",
@@ -90,9 +96,11 @@ class AFFPool(ChildPool):
             children=len(self.children),
             tuples=tuples,
             time_per_tuple=time_per_tuple,
+            mean_service_time=mean_service_time,
         )
         self._eoc_in_cycle = 0
         self._results_in_cycle = 0
+        self._service_in_cycle = 0.0
         self._cycle_started_at = now
 
         if not self._adapting:
@@ -158,6 +166,9 @@ class AFFPool(ChildPool):
             self._stop("cannot drop below the initial tree")
             return
         victim = self.children[-1]
+        # Any partial batch buffered for the victim must go out ahead of
+        # the shutdown (the downlink is FIFO), or its rows would be lost.
+        self.batcher.flush(victim, "drop_stage")
         self.children.remove(victim)
         self._by_name.pop(victim.endpoints.name, None)
         self.total_dropped += 1

@@ -40,7 +40,24 @@ class ProcessCosts:
                        outstanding.  1 is the paper's protocol (next tuple
                        only after end-of-call); larger values pipeline the
                        shipping latency at the cost of less adaptive
-                       placement.
+                       placement.  With batching, the per-child limit is
+                       ``prefetch`` *batches* (``prefetch * batch_size``
+                       tuples).
+    ``batch_size``     parameter/result tuples coalesced per message.  1
+                       (the default) is the paper's one-message-per-tuple
+                       protocol, reproduced bit for bit; larger values
+                       amortize ``message_latency`` over the batch while
+                       still paying ``ship_param``/``result_tuple`` per
+                       row.
+    ``batch_linger``   Nagle-style deadline in model seconds: a partial
+                       batch flushes at most this long after its first
+                       tuple was buffered.  0 disables the timer (partial
+                       batches then flush on stream end).
+    ``batch_adaptive`` when True, the per-child batch size is adjusted at
+                       run time from observed per-call service time vs.
+                       ``message_latency``: cheap calls get large batches,
+                       straggler children fall back to batch 1 so
+                       first-finished placement stays adaptive.
     ``barrier``        when True, an operator materializes its whole input
                        parameter stream before dispatching — the WSQ/DSQ
                        style of handling dependent joins the paper contrasts
@@ -57,6 +74,9 @@ class ProcessCosts:
     dispatch: str = "first_finished"
     prefetch: int = 1
     barrier: bool = False
+    batch_size: int = 1
+    batch_linger: float = 0.0
+    batch_adaptive: bool = False
 
     def __post_init__(self) -> None:
         for name in (
@@ -73,6 +93,12 @@ class ProcessCosts:
             raise PlanError(f"unknown dispatch policy {self.dispatch!r}")
         if self.prefetch < 1:
             raise PlanError(f"prefetch depth must be >= 1, got {self.prefetch}")
+        if self.batch_size < 1:
+            raise PlanError(f"batch size must be >= 1, got {self.batch_size}")
+        if self.batch_linger < 0:
+            raise PlanError(
+                f"batch linger must be non-negative, got {self.batch_linger}"
+            )
 
     def scaled(self, factor: float) -> "ProcessCosts":
         """All costs multiplied by ``factor`` (pairs with profile scaling)."""
@@ -88,4 +114,5 @@ class ProcessCosts:
             ship_param=self.ship_param * factor,
             result_tuple=self.result_tuple * factor,
             message_latency=self.message_latency * factor,
+            batch_linger=self.batch_linger * factor,
         )

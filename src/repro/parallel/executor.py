@@ -29,16 +29,19 @@ class ParallelExecutor:
         ctx.parallel_handler = self._handle
 
     def _pool_for(self, node: PlanNode, ctx: ExecutionContext) -> ChildPool:
-        pool = ctx.pools.get(id(node))
+        if not isinstance(node, (FFApplyNode, AFFApplyNode)):
+            raise PlanError(f"not a parallel operator: {node.label()}")
+        # Keyed on the node's stable plan-build identity, never id(node):
+        # a garbage-collected node's id can be reused by the allocator and
+        # would silently alias another operator's pool.
+        pool = ctx.pools.get(node.node_id)
         if pool is not None:
             return pool
         if isinstance(node, FFApplyNode):
             pool = FFPool(ctx, node.plan_function, self.costs, node.fanout)
-        elif isinstance(node, AFFApplyNode):
-            pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
         else:
-            raise PlanError(f"not a parallel operator: {node.label()}")
-        ctx.pools[id(node)] = pool
+            pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
+        ctx.pools[node.node_id] = pool
         return pool
 
     async def _handle(

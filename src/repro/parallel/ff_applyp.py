@@ -21,6 +21,7 @@ from typing import AsyncIterator
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import PlanFunction
 from repro.cache import stable_hash
+from repro.parallel.batching import BatchController
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
     ChildError,
@@ -28,8 +29,8 @@ from repro.parallel.messages import (
     InputAvailable,
     InputExhausted,
     InputFailed,
-    ParamTuple,
     ReadyToReceive,
+    ResultBatch,
     ResultTuple,
     ShipPlanFunction,
     Shutdown,
@@ -73,6 +74,7 @@ class ChildPool:
         self._closed = False
         self.total_spawned = 0
         self.total_dropped = 0
+        self.batcher = BatchController(self)
 
     # -- child lifecycle ---------------------------------------------------------
 
@@ -118,12 +120,32 @@ class ChildPool:
             )
             self._make_idle(child)
 
+    def _pipelined(self) -> bool:
+        """Whether dispatch may assign several tuples to one child.
+
+        True for ``prefetch > 1`` (the pipelined protocol) and whenever
+        batching is enabled — a child must be allowed to hold a whole
+        batch even at prefetch depth 1.
+        """
+        return self.costs.prefetch > 1 or self.batcher.enabled
+
+    def _capacity(self, child: _Child) -> int:
+        """Row capacity of a child: ``prefetch`` batches of current size."""
+        return self.batcher.capacity(child)
+
     def _make_idle(self, child: _Child) -> None:
         """End-of-call bookkeeping: the child can take more work."""
         child.outstanding = max(0, child.outstanding - 1)
-        if self.costs.prefetch > 1:
-            if self._pending and child.outstanding < self.costs.prefetch:
+        if self._pipelined():
+            # Refill up to capacity.  Without batching one end-of-call
+            # frees exactly one slot, so this takes one pending tuple
+            # just like the seed protocol; with batching the child must
+            # be topped up to a full batch or its buffer would sit below
+            # the size trigger with nothing in flight to trigger it.
+            while self._pending and child.outstanding < self._capacity(child):
                 self._dispatch_now(child, self._take_pending(child))
+                if not self.batcher.enabled:
+                    break
             return
         if self._pending:
             self._dispatch_now(child, self._take_pending(child))
@@ -131,9 +153,8 @@ class ChildPool:
             self._idle.append(child)
 
     def _dispatch_now(self, child: _Child, row: tuple) -> None:
-        self._seq += 1
         child.outstanding += 1
-        child.endpoints.downlink.send(ParamTuple(self._seq, row))
+        self.batcher.add(child, row)
 
     def _affinity_target(self, row: tuple) -> _Child:
         """The child a tuple hashes to under ``hash_affinity`` dispatch."""
@@ -169,20 +190,20 @@ class ChildPool:
             # call cache.  A saturated target falls back to the policies
             # below — first-finished placement beats a growing queue.
             target = self._affinity_target(row)
-            if target.outstanding < self.costs.prefetch:
+            if target.outstanding < self._capacity(target):
                 try:
                     self._idle.remove(target)
                 except ValueError:
                     pass
                 self._dispatch_now(target, row)
                 return
-        if self.costs.prefetch > 1:
+        if self._pipelined():
             # Pipelined dispatch: the least-loaded child with room takes
             # the tuple (first-finished generalized to depth > 1).
             candidates = [
                 child
                 for child in self.children
-                if child.outstanding < self.costs.prefetch
+                if child.outstanding < self._capacity(child)
             ]
             if candidates:
                 self._dispatch_now(
@@ -220,6 +241,10 @@ class ChildPool:
         barrier_buffer: list[tuple] | None = [] if self.costs.barrier else None
         try:
             while True:
+                if input_done and not self._pending:
+                    # No more rows can join a buffer: release any partial
+                    # batches so their end-of-calls can drain in_flight.
+                    self.batcher.flush_all("stream_end")
                 if input_done and in_flight == 0 and not self._pending:
                     break
                 message = await self.inbox.recv()
@@ -241,10 +266,36 @@ class ChildPool:
                 elif isinstance(message, InputFailed):
                     raise ReproError(message.message)
                 elif isinstance(message, ResultTuple):
+                    self.batcher.counters.result_tuples += 1
                     self.on_result(message)
                     yield message.row
+                elif isinstance(message, ResultBatch):
+                    self.batcher.counters.result_batches += 1
+                    self.batcher.counters.batched_results += len(message.rows)
+                    # Replay the batch as the per-call interleaving of the
+                    # per-tuple protocol: each call's rows, then its
+                    # end-of-call, in execution order.
+                    cursor = 0
+                    for end_of_call in message.end_of_calls:
+                        for row in message.rows[cursor : cursor + end_of_call.rows]:
+                            self.on_result(ResultTuple(message.child, row))
+                            yield row
+                        cursor += end_of_call.rows
+                        in_flight -= 1
+                        self.batcher.observe(end_of_call)
+                        child = self._by_name.get(end_of_call.child)
+                        if child is not None and child in self.children:
+                            self._make_idle(child)
+                        await self.on_end_of_call(end_of_call)
+                    for row in message.rows[cursor:]:
+                        # Rows of a call that errored mid-way (no end-of-call;
+                        # a ChildError follows in FIFO order behind this batch).
+                        self.on_result(ResultTuple(message.child, row))
+                        yield row
                 elif isinstance(message, EndOfCall):
+                    self.batcher.counters.end_of_calls += 1
                     in_flight -= 1
+                    self.batcher.observe(message)
                     child = self._by_name.get(message.child)
                     if child is not None and child in self.children:
                         self._make_idle(child)
@@ -290,6 +341,9 @@ class ChildPool:
         if self._closed:
             return
         self._closed = True
+        # An abandoned query may leave partial batches behind; they are
+        # discarded exactly like the per-tuple protocol's pending queue.
+        self.batcher.discard()
         for child in self.children:
             child.endpoints.downlink.send(Shutdown())
         for child in self.children:
@@ -297,6 +351,14 @@ class ChildPool:
         self.children.clear()
         self._idle.clear()
         self._by_name.clear()
+        if self.batcher.counters.any():
+            self.ctx.trace.record(
+                self.ctx.kernel.now(),
+                "pool_messages",
+                process=self.ctx.process_name,
+                plan_function=self.plan_function.name,
+                **self.batcher.counters.as_dict(),
+            )
 
 
 class FFPool(ChildPool):

@@ -1,20 +1,27 @@
 """The inter-process message protocol of ``FF_APPLYP`` (Sec. III.A).
 
 Downlink (parent -> child):
-    :class:`ShipPlanFunction`, :class:`ParamTuple`, :class:`Shutdown`.
+    :class:`ShipPlanFunction`, :class:`ParamTuple`, :class:`ParamBatch`,
+    :class:`Shutdown`.
 Uplink (child -> parent, one shared inbox per operator instance):
-    :class:`ResultTuple`, :class:`EndOfCall`, :class:`ChildError`.
+    :class:`ResultTuple`, :class:`ResultBatch`, :class:`EndOfCall`,
+    :class:`ChildError`.
 Internal to the parent's event loop (from its input pump task):
     :class:`InputAvailable`, :class:`InputExhausted`, :class:`InputFailed`.
 
 Plan functions travel as serialized dicts — the receiving process
 re-hydrates its own copy, which is what makes the code shipping real.
+
+The per-tuple messages (:class:`ParamTuple`/:class:`ResultTuple`) are the
+paper's protocol; the batch messages are the micro-batched extension that
+amortizes ``message_latency`` over several calls (one message transit per
+batch, per-row ship costs unchanged).  With ``ProcessCosts.batch_size=1``
+only the per-tuple messages are ever sent — seed behavior, bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -26,6 +33,18 @@ class ShipPlanFunction:
 class ParamTuple:
     seq: int
     row: tuple
+
+
+@dataclass(frozen=True)
+class ParamBatch:
+    """Several parameter tuples in one downlink message.
+
+    Row ``i`` carries sequence number ``seq_start + i``; the child executes
+    the rows as successive calls in order.
+    """
+
+    seq_start: int
+    rows: tuple[tuple, ...]
 
 
 @dataclass(frozen=True)
@@ -45,10 +64,30 @@ class ResultTuple:
 
 
 @dataclass(frozen=True)
+class ResultBatch:
+    """All result rows of one executed :class:`ParamBatch`, plus the
+    per-call :class:`EndOfCall` metadata, in one uplink message.
+
+    ``rows`` concatenates the calls' outputs in execution order;
+    ``end_of_calls`` has one entry per parameter tuple of the batch, so
+    monitoring stays per-call exact even though messaging is batched.
+    """
+
+    child: str
+    rows: tuple[tuple, ...]
+    end_of_calls: tuple["EndOfCall", ...]
+
+
+@dataclass(frozen=True)
 class EndOfCall:
     child: str
     seq: int
     rows: int  # tuples the call produced (monitoring input for AFF)
+    # Child-side occupancy of the call in model seconds (plan-function
+    # execution including per-row result shipping CPU).  Lets monitoring
+    # distinguish slow calls from large results, and feeds the adaptive
+    # batch controller.  0.0 when unknown (e.g. hand-built messages).
+    service_time: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ cascading to any children of nested operators via the executor's pools.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.algebra.interpreter import ExecutionContext, iterate_plan
 from repro.algebra.plan import PlanFunction
@@ -18,7 +18,9 @@ from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
     ChildError,
     EndOfCall,
+    ParamBatch,
     ParamTuple,
+    ResultBatch,
     ResultTuple,
     ShipPlanFunction,
     Shutdown,
@@ -70,24 +72,71 @@ async def child_main(
             message = await endpoints.downlink.recv()
             if isinstance(message, Shutdown):
                 break
-            if not isinstance(message, ParamTuple):
-                continue  # ReadyToReceive and friends need no child action
-            rows_for_call = 0
-            try:
-                async for row in iterate_plan(
-                    plan_function.body, ctx, param_row=message.row
-                ):
-                    await kernel.sleep(costs.result_tuple)
-                    endpoints.uplink.send(ResultTuple(endpoints.name, row))
-                    rows_for_call += 1
-            except ReproError as error:
-                endpoints.uplink.send(ChildError(endpoints.name, str(error)))
-                break
-            endpoints.calls_handled += 1
-            endpoints.rows_emitted += rows_for_call
-            endpoints.uplink.send(
-                EndOfCall(endpoints.name, message.seq, rows_for_call)
-            )
+            if isinstance(message, ParamTuple):
+                rows_for_call = 0
+                started = kernel.now()
+                try:
+                    async for row in iterate_plan(
+                        plan_function.body, ctx, param_row=message.row
+                    ):
+                        await kernel.sleep(costs.result_tuple)
+                        endpoints.uplink.send(ResultTuple(endpoints.name, row))
+                        rows_for_call += 1
+                except ReproError as error:
+                    endpoints.uplink.send(ChildError(endpoints.name, str(error)))
+                    break
+                endpoints.calls_handled += 1
+                endpoints.rows_emitted += rows_for_call
+                endpoints.uplink.send(
+                    EndOfCall(
+                        endpoints.name,
+                        message.seq,
+                        rows_for_call,
+                        service_time=kernel.now() - started,
+                    )
+                )
+            elif isinstance(message, ParamBatch):
+                # Drain the whole batch as successive calls, buffering the
+                # result rows; everything goes back up in one ResultBatch
+                # (one message transit) with per-call EndOfCall metadata.
+                batch_rows: list[tuple] = []
+                end_of_calls: list[EndOfCall] = []
+                error_text: str | None = None
+                for offset, param_row in enumerate(message.rows):
+                    rows_for_call = 0
+                    started = kernel.now()
+                    try:
+                        async for row in iterate_plan(
+                            plan_function.body, ctx, param_row=param_row
+                        ):
+                            await kernel.sleep(costs.result_tuple)
+                            batch_rows.append(row)
+                            rows_for_call += 1
+                    except ReproError as error:
+                        error_text = str(error)
+                        break
+                    endpoints.calls_handled += 1
+                    endpoints.rows_emitted += rows_for_call
+                    end_of_calls.append(
+                        EndOfCall(
+                            endpoints.name,
+                            message.seq_start + offset,
+                            rows_for_call,
+                            service_time=kernel.now() - started,
+                        )
+                    )
+                if batch_rows or end_of_calls:
+                    endpoints.uplink.send(
+                        ResultBatch(
+                            endpoints.name,
+                            tuple(batch_rows),
+                            tuple(end_of_calls),
+                        )
+                    )
+                if error_text is not None:
+                    endpoints.uplink.send(ChildError(endpoints.name, error_text))
+                    break
+            # ReadyToReceive and friends need no child action
     finally:
         if on_exit is not None:
             await on_exit()

@@ -325,7 +325,14 @@ class SimKernel(base.Kernel):
         """Close coroutines of tasks abandoned when the main task ended."""
         for task in self._tasks:
             if not task.done:
-                task._coro.close()
+                try:
+                    task._coro.close()
+                except RuntimeError:
+                    # A coroutine that awaits kernel primitives inside a
+                    # finally block cannot close cleanly; swallowing the
+                    # error here keeps the real failure (for example a
+                    # DeadlockError naming the parked tasks) visible.
+                    pass
                 task._finish(None, CancelledError("kernel shut down"))
 
     # -- internal -----------------------------------------------------------

@@ -7,6 +7,7 @@ from typing import Iterator
 
 from repro.cache import CacheStats
 from repro.fdb.values import Bag
+from repro.parallel.batching import MessageStats
 from repro.parallel.tree import TreeStats
 from repro.services.broker import CallStats
 from repro.util.trace import TraceLog
@@ -32,6 +33,10 @@ class QueryResult:
     # Aggregated web-service call-cache counters across all query
     # processes; None when the query ran without a cache.
     cache_stats: CacheStats | None = None
+    # Data-path message counts aggregated over every operator pool in the
+    # query (per-tuple and batched, both directions).  Central-mode runs
+    # send no inter-process messages, so all counters stay 0.
+    message_stats: MessageStats = field(default_factory=MessageStats)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -72,6 +77,7 @@ class QueryResult:
                 for name, stats in sorted(self.call_stats.items())
             },
             "cache": self.cache_stats.as_dict() if self.cache_stats else None,
+            "messages": self.message_stats.as_dict(),
             "tree": {
                 "processes_spawned": self.tree.processes_spawned,
                 "processes_dropped": self.tree.processes_dropped,
@@ -115,7 +121,31 @@ class QueryResult:
             )
         if self.cache_stats is not None:
             lines.append("  " + self.cache_report())
+        if self.message_stats.param_batches or self.message_stats.result_batches:
+            lines.append("  " + self.batch_report())
         return "\n".join(lines)
+
+    def batch_report(self) -> str:
+        """One-line micro-batching report (the CLI's ``\\batch`` output)."""
+        stats = self.message_stats
+        if not stats.any():
+            return "batching: no inter-process messages (central plan?)"
+        parts = [
+            f"messages: {stats.total_messages} "
+            f"({stats.downlink_messages} down, {stats.uplink_messages} up)",
+            f"param batches: {stats.param_batches} "
+            f"carrying {stats.batched_params} tuples "
+            f"(+{stats.param_tuples} singles)",
+            f"result batches: {stats.result_batches} "
+            f"carrying {stats.batched_results} rows "
+            f"(+{stats.result_tuples} singles)",
+        ]
+        if stats.flushes:
+            triggers = ", ".join(
+                f"{trigger}={count}" for trigger, count in sorted(stats.flushes.items())
+            )
+            parts.append(f"flushes: {triggers}")
+        return "; ".join(parts)
 
     def cache_report(self) -> str:
         """One-line call-cache report (the CLI's ``\\cache`` output)."""

@@ -35,6 +35,7 @@ from repro.algebra.plan import AdaptationParams, PlanNode
 from repro.cache import CacheConfig, aggregate_stats
 from repro.calculus.generator import generate_calculus
 from repro.fdb.catalog import Catalog
+from repro.parallel.batching import message_stats_from_trace
 from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
 from repro.fdb.types import CHARSTRING, TupleType
 from repro.parallel.costs import ProcessCosts
@@ -293,6 +294,7 @@ class WSMED:
         fault_rate: float = 0.0,
         retries: int = 0,
         cache: CacheConfig | None = None,
+        process_costs: ProcessCosts | None = None,
         name: str = "Query",
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
@@ -303,6 +305,8 @@ class WSMED:
         faults per call before giving up.  ``cache`` overrides the
         system-wide :class:`~repro.cache.CacheConfig` for this query;
         when enabled, every query process memoizes its web-service calls.
+        ``process_costs`` overrides the system-wide cost model for this
+        query (e.g. to enable micro-batching via ``batch_size``).
         """
         mode = ExecutionMode.of(mode)
         plan = self.plan(
@@ -317,7 +321,7 @@ class WSMED:
             retries=retries,
         )
         ctx.install_cache(cache if cache is not None else self.cache_config)
-        executor = ParallelExecutor(ctx, self.process_costs)
+        executor = ParallelExecutor(ctx, process_costs or self.process_costs)
 
         async def timed() -> tuple[list[tuple], float]:
             started = kernel.now()
@@ -338,4 +342,5 @@ class WSMED:
             cache_stats=(
                 aggregate_stats(ctx.cache_registry) if ctx.cache_registry else None
             ),
+            message_stats=message_stats_from_trace(ctx.trace),
         )

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.calculus.expressions import Concat, Const, Var
-from repro.sql.parser import parse_query
-from repro.calculus.generator import generate_calculus
 from repro.util.errors import BindingError, CalculusError
 
 from tests.helpers import QUERY1_SQL, QUERY2_SQL, make_world

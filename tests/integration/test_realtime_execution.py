@@ -56,6 +56,25 @@ def test_adaptive_on_asyncio(wsmed) -> None:
     assert real.tree.add_stages >= 1
 
 
+def test_batched_parallel_query1_on_asyncio(wsmed) -> None:
+    from dataclasses import replace
+
+    sim = wsmed.sql(QUERY1_SQL, mode="parallel", fanouts=[5, 4])
+    costs = replace(wsmed.process_costs, batch_size=4)
+    real = wsmed.sql(
+        QUERY1_SQL,
+        mode="parallel",
+        fanouts=[5, 4],
+        process_costs=costs,
+        kernel=AsyncioKernel(time_scale=SCALE),
+    )
+    # Batching changes the messaging, never the answer — also under real
+    # asyncio concurrency, where message arrival order is not scripted.
+    assert real.as_bag() == sim.as_bag()
+    assert real.message_stats.param_batches > 0
+    assert real.message_stats.batched_results > 0
+
+
 def test_model_elapsed_consistent_across_kernels(wsmed) -> None:
     sim = wsmed.sql(QUERY1_SQL, mode="parallel", fanouts=[4, 4])
     real = wsmed.sql(

@@ -10,8 +10,8 @@ import pytest
 
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import AdaptationParams, ApplyNode, ParamNode, PlanFunction
-from repro.fdb.functions import FunctionDef, FunctionKind, Parameter
-from repro.fdb.types import CHARSTRING, INTEGER, TupleType
+from repro.fdb.functions import FunctionDef, FunctionKind
+from repro.fdb.types import INTEGER, TupleType
 from repro.parallel.aff_applyp import AFFPool
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.ff_applyp import FFPool

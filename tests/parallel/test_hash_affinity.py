@@ -8,6 +8,7 @@ from repro.util.errors import PlanError
 
 from tests.helpers import QUERY1_SQL, QUERY2_SQL, make_world
 from tests.parallel.helpers_parallel import run_parallel
+from tests.parallel.test_batching import drive, make_pool
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +62,27 @@ def test_hash_affinity_makes_no_extra_calls(world) -> None:
     assert affinity_ctx.trace.count("process_exit") == affinity_ctx.trace.count(
         "spawn"
     )
+
+
+def test_saturated_affinity_target_neither_drops_nor_duplicates() -> None:
+    """A hot key saturates its affinity target under ``prefetch > 1``.
+
+    Tuples for the hot key overflow onto other children (first-finished
+    fallback) and later end-of-calls pull from the pending queue via
+    ``_take_pending`` — every input tuple must come back exactly once,
+    neither dropped nor double-dispatched.
+    """
+    from repro.runtime.simulated import SimKernel
+
+    kernel = SimKernel()
+    pool, _ = make_pool(
+        kernel, ProcessCosts(dispatch="hash_affinity", prefetch=3).scaled(0.001),
+        fanout=3,
+    )
+    hot = [(7,)] * 18  # all hash to the same child; capacity is only 3
+    cold = [(i,) for i in range(5)]
+    out = drive(kernel, pool, hot + cold)
+    assert sorted(out) == sorted([(7, 7)] * 18 + [(i, i) for i in range(5)])
 
 
 def test_round_robin_still_preserves_results(world) -> None:
