@@ -26,6 +26,7 @@ from benchmarks import (
     bench_batching,
     bench_call_cache,
     bench_central_plans,
+    bench_fault_tolerance,
     bench_fig16_query1_grid,
     bench_fig17_query2_grid,
     bench_fig21_adaptive,
@@ -48,6 +49,7 @@ SECTIONS = (
     ("Workload scaling", bench_scaling.main),
     ("Call cache (skewed keys)", bench_call_cache.main),
     ("Micro-batching (batch size x fanout)", bench_batching.main),
+    ("Fault tolerance (injected failures/crashes)", bench_fault_tolerance.main),
 )
 
 

@@ -26,6 +26,7 @@ The package layers (see DESIGN.md for the full inventory):
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
 from repro.parallel.costs import ProcessCosts
+from repro.parallel.faults import FaultInjection, FaultStats
 from repro.parallel.tree import FanoutVector
 from repro.runtime.realtime import AsyncioKernel
 from repro.runtime.simulated import SimKernel
@@ -61,6 +62,8 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "ProcessCosts",
+    "FaultInjection",
+    "FaultStats",
     "FanoutVector",
     "AsyncioKernel",
     "SimKernel",

@@ -14,7 +14,7 @@ Interactive::
 
 Meta commands: ``\\views``, ``\\owf NAME``, ``\\mode``, ``\\fanouts``,
 ``\\profile``, ``\\explain SQL;``, ``\\tree``, ``\\summary``, ``\\rows N``,
-``\\batch``, ``\\help``, ``\\quit``.
+``\\batch``, ``\\faults``, ``\\help``, ``\\quit``.
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ from typing import IO
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig
+from repro.parallel.faults import FaultInjection
 from repro.util.errors import ReproError
 from repro.wsmed.results import QueryResult
 from repro.wsmed.system import WSMED
@@ -73,6 +74,7 @@ class Shell:
         fanouts: list[int] | None = None,
         retries: int = 0,
         cache: CacheConfig | None = None,
+        on_error: str | None = None,
     ) -> None:
         self.wsmed = wsmed
         self.out = out
@@ -87,6 +89,10 @@ class Shell:
         # model per query (keys of ProcessCosts: batch_size, batch_linger,
         # batch_adaptive).  Empty = the per-tuple seed protocol.
         self.batch: dict[str, object] = {}
+        # Pool failure policy (None = the seed default, "fail") and
+        # optional fault injection for demonstrating it.
+        self.on_error = on_error
+        self.fault_injection: FaultInjection | None = None
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -103,6 +109,10 @@ class Shell:
             kwargs["process_costs"] = replace(
                 self.wsmed.process_costs, **self.batch
             )
+        if self.on_error is not None:
+            kwargs["on_error"] = self.on_error
+        if self.fault_injection is not None:
+            kwargs["faults"] = self.fault_injection
         result = self.wsmed.sql(
             sql,
             mode=self.mode,
@@ -151,6 +161,8 @@ class Shell:
             self._cache_command(argument)
         elif command == "batch":
             self._batch_command(argument)
+        elif command == "faults":
+            self._faults_command(argument)
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -236,6 +248,52 @@ class Shell:
         else:
             self.write("batching = off (no execution yet)")
 
+    def _faults_command(self, argument: str) -> None:
+        """``\\faults [fail|retry|skip | inject P [C] | off]``: fault policy."""
+        if argument:
+            word, _, rest = argument.partition(" ")
+            word = word.strip().lower()
+            if word in ("fail", "retry", "skip"):
+                self.on_error = word
+                self.write(f"on_error = {word}")
+            elif word == "inject":
+                parts = rest.split()
+                try:
+                    failure = float(parts[0]) if parts else 0.0
+                    crash = float(parts[1]) if len(parts) > 1 else 0.0
+                except ValueError:
+                    raise ReproError(
+                        r"usage: \faults inject FAIL_PROB [CRASH_PROB]"
+                    ) from None
+                self.fault_injection = FaultInjection(
+                    call_failure_probability=failure, crash_probability=crash
+                )
+                self.write(
+                    f"fault injection: call failure {failure:g}, crash {crash:g}"
+                )
+            elif word == "off":
+                self.on_error = None
+                self.fault_injection = None
+                self.write("faults = off (policy fail, no injection)")
+            else:
+                raise ReproError(
+                    r"usage: \faults [fail|retry|skip | inject P [C] | off]"
+                )
+            return
+        if self.last_result is not None:
+            self.write(self.last_result.fault_report())
+        else:
+            policy = self.on_error or "fail"
+            injection = (
+                "none"
+                if self.fault_injection is None
+                else f"call failure {self.fault_injection.call_failure_probability:g}"
+                f", crash {self.fault_injection.crash_probability:g}"
+            )
+            self.write(
+                f"on_error = {policy}; injection = {injection} (no execution yet)"
+            )
+
     # -- the loop ------------------------------------------------------------------
 
     def repl(self, source: IO[str]) -> None:
@@ -282,6 +340,10 @@ meta commands:
   \\batch adaptive   adapt the batch size per child at run time
   \\batch linger T   flush partial batches after T model seconds
   \\batch off        back to the per-tuple protocol
+  \\faults           fault report of the last execution
+  \\faults P         failure policy: fail | retry | skip
+  \\faults inject F [C]  inject per-call failures (prob F) / crashes (C)
+  \\faults off       seed behavior: policy fail, no injection
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -317,6 +379,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         metavar="N|adaptive",
         help="micro-batch N tuples per message, or adapt per child",
     )
+    parser.add_argument(
+        "--on-error",
+        choices=("fail", "retry", "skip"),
+        help="pool policy for failed web-service calls (default: fail)",
+    )
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
@@ -336,6 +403,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         fanouts=fanouts,
         retries=arguments.retries,
         cache=CacheConfig(enabled=True) if arguments.cache else None,
+        on_error=arguments.on_error,
     )
     if arguments.batch:
         if arguments.batch.strip().lower() == "adaptive":

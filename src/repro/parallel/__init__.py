@@ -22,6 +22,11 @@ This subpackage implements the paper's contribution:
 from repro.parallel.baseline import run_level_synchronous
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
+from repro.parallel.faults import (
+    FaultInjection,
+    FaultStats,
+    fault_stats_from_trace,
+)
 from repro.parallel.parallelizer import parallelize, split_sections
 from repro.parallel.tree import FanoutVector, TreeStats, tree_stats_from_trace
 from repro.parallel.visualize import (
@@ -36,6 +41,9 @@ __all__ = [
     "run_level_synchronous",
     "ProcessCosts",
     "ParallelExecutor",
+    "FaultInjection",
+    "FaultStats",
+    "fault_stats_from_trace",
     "parallelize",
     "split_sections",
     "FanoutVector",

@@ -26,7 +26,7 @@ from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import AdaptationParams, PlanFunction
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.ff_applyp import ChildPool
-from repro.parallel.messages import EndOfCall, ResultTuple, Shutdown
+from repro.parallel.messages import CallFailed, EndOfCall, ResultTuple, Shutdown
 
 
 class AFFPool(ChildPool):
@@ -52,6 +52,7 @@ class AFFPool(ChildPool):
         self._eoc_in_cycle = 0
         self._results_in_cycle = 0
         self._service_in_cycle = 0.0
+        self._failed_in_cycle = 0
 
     # -- lifecycle hooks --------------------------------------------------------
 
@@ -76,6 +77,19 @@ class AFFPool(ChildPool):
             return
         await self._finish_cycle()
 
+    async def on_call_failed(self, message: CallFailed) -> None:
+        """A failed call still completes a monitoring slot.
+
+        It counts toward cycle completion (the child *is* done with the
+        call) but is tracked separately, so a flaky child that fails fast
+        is not misread as a fast one by the adaptation heuristic.
+        """
+        self._eoc_in_cycle += 1
+        self._failed_in_cycle += 1
+        if self._eoc_in_cycle < len(self.children):
+            return
+        await self._finish_cycle()
+
     # -- monitoring cycles --------------------------------------------------------
 
     async def _finish_cycle(self) -> None:
@@ -83,7 +97,10 @@ class AFFPool(ChildPool):
         now = kernel.now()
         duration = now - self._cycle_started_at
         tuples = self._results_in_cycle
-        calls = self._eoc_in_cycle
+        failed = self._failed_in_cycle
+        # Only successful calls carry service time; averaging over the
+        # failed ones too would make a flaky child look fast.
+        calls = self._eoc_in_cycle - failed
         time_per_tuple = duration / tuples if tuples else math.inf
         # Mean child-side occupancy per call — distinguishes slow calls
         # (high mean_service_time) from large results (high tuples).
@@ -97,10 +114,12 @@ class AFFPool(ChildPool):
             tuples=tuples,
             time_per_tuple=time_per_tuple,
             mean_service_time=mean_service_time,
+            **({"failed": failed} if failed else {}),
         )
         self._eoc_in_cycle = 0
         self._results_in_cycle = 0
         self._service_in_cycle = 0.0
+        self._failed_in_cycle = 0
         self._cycle_started_at = now
 
         if not self._adapting:
@@ -171,6 +190,10 @@ class AFFPool(ChildPool):
         self.batcher.flush(victim, "drop_stage")
         self.children.remove(victim)
         self._by_name.pop(victim.endpoints.name, None)
+        if victim.inflight:
+            # Its remaining in-flight calls are still current and must be
+            # allowed to resolve; keep the slot findable until they do.
+            self._detached[victim.endpoints.name] = victim
         self.total_dropped += 1
         # The child finishes any in-flight call (its downlink is FIFO),
         # then reads the shutdown and tears down its own subtree.

@@ -243,6 +243,8 @@ class BatchController:
             pool = self.pool
             seq_start = pool._seq + 1
             pool._seq += len(buffer)
+            for offset, row in enumerate(buffer):
+                pool.note_sent(child, seq_start + offset, row)
             child.endpoints.downlink.send(ParamBatch(seq_start, tuple(buffer)))
             self.counters.param_batches += 1
             self.counters.batched_params += len(buffer)
@@ -273,6 +275,16 @@ class BatchController:
                 continue
             self.flush(child, trigger)
 
+    def take_buffer(self, child_name: str) -> list[tuple]:
+        """Remove and return the rows buffered for one child.
+
+        Used when a child is evicted (death, error): its buffered rows
+        were never shipped, so the pool re-owns them for redelivery.
+        """
+        rows = self._buffers.pop(child_name, [])
+        self._disarm_timer(child_name)
+        return rows
+
     def discard(self) -> None:
         """Drop buffered rows and timers (abandoned query; mirrors how the
         per-tuple protocol abandons its pending queue on early close)."""
@@ -283,6 +295,7 @@ class BatchController:
     def _send_single(self, child: "_Child", row: tuple) -> None:
         pool = self.pool
         pool._seq += 1
+        pool.note_sent(child, pool._seq, row)
         child.endpoints.downlink.send(ParamTuple(pool._seq, row))
         self.counters.param_tuples += 1
 

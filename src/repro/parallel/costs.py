@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.parallel.faults import FaultInjection
 from repro.util.errors import PlanError
 
 
@@ -63,6 +64,30 @@ class ProcessCosts:
                        style of handling dependent joins the paper contrasts
                        itself with (Sec. VI); WSMED's streaming default is
                        False.
+    ``on_error``       per-call failure policy of an operator pool:
+                       ``fail`` (the paper's behavior and the default — the
+                       first failed call aborts the whole query tree),
+                       ``retry`` (the failed parameter row is redelivered
+                       to a surviving child up to ``max_redeliveries``
+                       times, then the query fails), or ``skip`` (the
+                       failed row is dropped and counted, the query
+                       continues).  Under ``retry``/``skip`` a child that
+                       dies is replaced by a freshly spawned one and its
+                       in-flight rows are written off per the same policy.
+    ``max_redeliveries`` times one parameter row may be redelivered under
+                       ``on_error="retry"`` before its failure becomes a
+                       query error.
+    ``breaker_threshold`` per-pool circuit breaker: once at least
+                       ``breaker_min_calls`` calls of one invocation have
+                       resolved and more than this fraction of them
+                       failed, the pool escalates to ``fail`` regardless
+                       of ``on_error`` (a mostly-dead service should abort
+                       the query, not grind through redeliveries).
+    ``breaker_min_calls`` minimum resolved calls of one invocation before
+                       the breaker may trip.
+    ``faults``         optional :class:`~repro.parallel.faults.FaultInjection`
+                       knobs (per-call failure / child crash probability)
+                       for the simulated runtime; None injects nothing.
     """
 
     startup: float = 0.25
@@ -77,6 +102,11 @@ class ProcessCosts:
     batch_size: int = 1
     batch_linger: float = 0.0
     batch_adaptive: bool = False
+    on_error: str = "fail"
+    max_redeliveries: int = 2
+    breaker_threshold: float = 0.5
+    breaker_min_calls: int = 20
+    faults: FaultInjection | None = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -98,6 +128,23 @@ class ProcessCosts:
         if self.batch_linger < 0:
             raise PlanError(
                 f"batch linger must be non-negative, got {self.batch_linger}"
+            )
+        if self.on_error not in ("fail", "retry", "skip"):
+            raise PlanError(
+                f"unknown on_error policy {self.on_error!r}; "
+                "use fail, retry or skip"
+            )
+        if self.max_redeliveries < 0:
+            raise PlanError(
+                f"max_redeliveries must be >= 0, got {self.max_redeliveries}"
+            )
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise PlanError(
+                f"breaker_threshold must be in (0, 1], got {self.breaker_threshold}"
+            )
+        if self.breaker_min_calls < 1:
+            raise PlanError(
+                f"breaker_min_calls must be >= 1, got {self.breaker_min_calls}"
             )
 
     def scaled(self, factor: float) -> "ProcessCosts":

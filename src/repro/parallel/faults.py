@@ -1,0 +1,151 @@
+"""Fault tolerance of query-process trees: policies, injection, accounting.
+
+The paper assumes query processes and their web-service calls never die;
+a production mediator cannot.  This module holds the pieces of the
+pool-level fault-tolerance layer that are independent of the operator
+runtime itself:
+
+* :class:`FaultInjection` — deterministic process-level fault knobs for
+  the simulated runtime (per-call failure probability and per-call crash
+  probability), seeded per child so every run replays identically;
+* :class:`InjectedCrash` — the exception that simulates a query process
+  dying abruptly (deliberately *not* a :class:`~repro.util.errors.ReproError`,
+  so the child's per-call error handling cannot catch it);
+* :class:`FaultStats` and :func:`fault_stats_from_trace` — query-wide
+  aggregation of the ``call_failed`` / ``redeliver`` / ``respawn`` /
+  ``breaker_open`` trace events the pools emit.
+
+The policy itself (``on_error`` = ``fail`` | ``retry`` | ``skip``) lives
+on :class:`~repro.parallel.costs.ProcessCosts`; the handling lives in
+:class:`~repro.parallel.ff_applyp.ChildPool`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import PlanError, ReproError
+from repro.util.rng import derive_rng
+from repro.util.trace import TraceLog
+
+
+class InjectedCrash(Exception):
+    """Simulates a query process dying abruptly mid-service.
+
+    Not a :class:`ReproError` on purpose: the child's per-call error
+    handling converts ``ReproError`` into a protocol message, while a
+    crash must escape the receive loop entirely, exactly like a real
+    process death would.
+    """
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Process-level fault knobs for the simulated runtime.
+
+    ``call_failure_probability``  chance that any one plan-function call
+                                  raises a (policy-visible) failure before
+                                  doing work — models a web service or
+                                  plan error surviving call-level retries.
+    ``crash_probability``         chance that the child process dies
+                                  abruptly when starting a call — models
+                                  OOM kills, segfaults, machine loss.
+    ``seed``                      root of the per-child random streams, so
+                                  a run with the same seed injects the
+                                  same faults at the same calls.
+    """
+
+    call_failure_probability: float = 0.0
+    crash_probability: float = 0.0
+    seed: int = 2009
+
+    def __post_init__(self) -> None:
+        for name in ("call_failure_probability", "crash_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise PlanError(f"fault injection {name} must be in [0, 1), got {value}")
+
+    def active(self) -> bool:
+        return self.call_failure_probability > 0.0 or self.crash_probability > 0.0
+
+    def injector_for(self, process_name: str) -> "FaultInjector":
+        """A deterministic per-child injector (independent streams)."""
+        return FaultInjector(self, process_name)
+
+
+class FaultInjector:
+    """The per-child side of :class:`FaultInjection`: one seeded stream."""
+
+    def __init__(self, injection: FaultInjection, process_name: str) -> None:
+        self._injection = injection
+        self._name = process_name
+        self._rng = derive_rng(injection.seed, "fault-injection", process_name)
+
+    def before_call(self) -> None:
+        """Raise the configured fault, if this call draws one.
+
+        :class:`InjectedCrash` simulates the process dying;
+        :class:`ReproError` simulates the call itself failing and flows
+        through the child's normal per-call error path.
+        """
+        if (
+            self._injection.crash_probability
+            and self._rng.random() < self._injection.crash_probability
+        ):
+            raise InjectedCrash(f"injected crash in {self._name}")
+        if (
+            self._injection.call_failure_probability
+            and self._rng.random() < self._injection.call_failure_probability
+        ):
+            raise ReproError(f"injected call failure in {self._name}")
+
+
+@dataclass
+class FaultStats:
+    """Query-wide failure accounting, aggregated over every operator pool.
+
+    ``failed_calls``   per-call failures reported by children (including
+                       rows lost to a child death, which are written off
+                       the same way),
+    ``redeliveries``   failed rows re-dispatched under ``on_error="retry"``,
+    ``skipped_rows``   failed rows dropped under ``on_error="skip"``,
+    ``respawns``       replacement children started for dead ones,
+    ``breaker_trips``  pools whose failure rate escalated to a hard error.
+    """
+
+    failed_calls: int = 0
+    redeliveries: int = 0
+    skipped_rows: int = 0
+    respawns: int = 0
+    breaker_trips: int = 0
+
+    def any(self) -> bool:
+        return (
+            self.failed_calls > 0
+            or self.redeliveries > 0
+            or self.skipped_rows > 0
+            or self.respawns > 0
+            or self.breaker_trips > 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "failed_calls": self.failed_calls,
+            "redeliveries": self.redeliveries,
+            "skipped_rows": self.skipped_rows,
+            "respawns": self.respawns,
+            "breaker_trips": self.breaker_trips,
+        }
+
+
+def fault_stats_from_trace(trace: TraceLog) -> FaultStats:
+    """Aggregate the pools' fault-tolerance trace events."""
+    stats = FaultStats()
+    for event in trace.events("call_failed"):
+        stats.failed_calls += 1
+        if event.data.get("policy") == "skip":
+            stats.skipped_rows += 1
+    stats.redeliveries = trace.count("redeliver")
+    stats.respawns = trace.count("respawn")
+    stats.breaker_trips = trace.count("breaker_open")
+    return stats

@@ -10,6 +10,28 @@ them.
 The input stream is drained by a pump task into the operator's inbox, so
 one event loop serves input arrival, results, and end-of-call messages
 without needing a select primitive.
+
+On top of the paper's protocol sits a pool-level fault-tolerance layer
+(``ProcessCosts.on_error``):
+
+* every dispatched parameter row is tracked in the target child's
+  ``inflight`` map (sequence number -> row) until its end-of-call;
+* a :class:`CallFailed` report resolves the row per policy — redeliver it
+  to another child (``retry``), drop and count it (``skip``), or abort
+  (``fail``, the seed default);
+* a per-child death watcher turns an unexpected process exit into a
+  :class:`ChildDied` message; under ``retry``/``skip`` the pool spawns a
+  replacement child (re-shipping the plan function) and writes off the
+  dead child's in-flight rows per the same policy;
+* a per-pool circuit breaker escalates to ``fail`` once the invocation's
+  failure rate crosses ``breaker_threshold``;
+* invocations are epoch-stamped so a persistent pool whose previous
+  invocation failed drops that invocation's stale messages instead of
+  replaying them, and per-invocation dispatch state is reset on the error
+  exit of :meth:`ChildPool.run`.
+
+With the defaults (``on_error="fail"``, no fault injection) none of this
+changes a single message or trace event relative to the paper protocol.
 """
 
 from __future__ import annotations
@@ -24,6 +46,8 @@ from repro.cache import stable_hash
 from repro.parallel.batching import BatchController
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
+    CallFailed,
+    ChildDied,
     ChildError,
     EndOfCall,
     InputAvailable,
@@ -40,12 +64,20 @@ from repro.runtime.base import ProcessHandle
 from repro.util.errors import PlanError, ReproError
 
 
-@dataclass
+@dataclass(eq=False)
 class _Child:
+    """One pool slot.  ``eq=False`` keeps comparison by identity: the pool
+    mixes ``in``/``remove`` (which would use ``__eq__``) with ``is`` checks,
+    and value equality between distinct slots would corrupt ``_idle``."""
+
     endpoints: ChildEndpoints
     handle: ProcessHandle
     outstanding: int = 0  # parameter tuples shipped but not end-of-called
     added_by_adaptation: bool = False
+    # Rows shipped to this child and not yet resolved: seq -> parameter
+    # row.  Source of truth for redelivery after a failure or death, and
+    # for telling current messages from stale ones.
+    inflight: dict[int, tuple] = field(default_factory=dict)
 
 
 class ChildPool:
@@ -68,12 +100,24 @@ class ChildPool:
         self.children: list[_Child] = []
         self._idle: deque[_Child] = deque()
         self._by_name: dict[str, _Child] = {}
+        # Children dropped by adaptation that still have in-flight calls:
+        # their remaining messages are current (must resolve), but they
+        # take no new work.
+        self._detached: dict[str, _Child] = {}
         self._pending: deque[tuple] = deque()
         self._seq = 0
         self._rotation = 0  # next child index under round-robin dispatch
         self._closed = False
+        self._epoch = 0  # invocation counter; stamps pump messages
         self.total_spawned = 0
         self.total_dropped = 0
+        self.total_respawns = 0
+        self.failed_calls = 0
+        self.skipped_rows = 0
+        # Per-invocation failure accounting (redelivery budgets + breaker).
+        self._fail_counts: dict[str, int] = {}
+        self._ok_in_invocation = 0
+        self._failed_in_invocation = 0
         self.batcher = BatchController(self)
 
     # -- child lifecycle ---------------------------------------------------------
@@ -108,6 +152,7 @@ class ChildPool:
             self.children.append(child)
             self._by_name[name] = child
             self.total_spawned += 1
+            kernel.spawn(self._watch_child(name, handle), name=f"{name}-watch")
             await kernel.sleep(self.costs.ship_function)
             endpoints.downlink.send(ShipPlanFunction(self._plan_function_dict))
             self.ctx.trace.record(
@@ -119,6 +164,23 @@ class ChildPool:
                 adaptive=adaptive,
             )
             self._make_idle(child)
+
+    async def _watch_child(self, name: str, handle: ProcessHandle) -> None:
+        """Death watcher: report an unexpected child exit to the inbox.
+
+        The child cannot announce its own crash, so the watcher joins the
+        handle from outside.  Orderly exits (pool close, adaptation drop)
+        are filtered out by ``_closed`` here and by the name lookup in the
+        ``ChildDied`` handler.
+        """
+        reason = ""
+        try:
+            await handle.join()
+        except BaseException as error:  # noqa: BLE001 - report any death
+            text = str(error)
+            reason = f"{type(error).__name__}: {text}" if text else type(error).__name__
+        if not self._closed:
+            self.inbox.send(ChildDied(name, reason))
 
     def _pipelined(self) -> bool:
         """Whether dispatch may assign several tuples to one child.
@@ -155,6 +217,10 @@ class ChildPool:
     def _dispatch_now(self, child: _Child, row: tuple) -> None:
         child.outstanding += 1
         self.batcher.add(child, row)
+
+    def note_sent(self, child: _Child, seq: int, row: tuple) -> None:
+        """Record a shipped row as in flight (called at seq assignment)."""
+        child.inflight[seq] = row
 
     def _affinity_target(self, row: tuple) -> _Child:
         """The child a tuple hashes to under ``hash_affinity`` dispatch."""
@@ -220,6 +286,161 @@ class ChildPool:
             return
         self._pending.append(row)
 
+    # -- failure handling --------------------------------------------------------
+
+    def _find_child(self, name: str) -> _Child | None:
+        """Active or detached child by name; None once fully evicted."""
+        child = self._by_name.get(name)
+        if child is not None:
+            return child
+        return self._detached.get(name)
+
+    def _retire_detached(self, name: str) -> None:
+        """Forget a detached child once its last in-flight call resolved."""
+        child = self._detached.get(name)
+        if child is not None and not child.inflight:
+            del self._detached[name]
+
+    def _evict(self, name: str) -> list[tuple[int, tuple]]:
+        """Remove a dead/failed child from every pool structure.
+
+        Returns the rows the child still owed: its in-flight calls (with
+        their sequence numbers) plus any rows buffered for it in the
+        batcher (seq ``-1`` — never shipped).  Without the eviction, a
+        later dispatch to the dead child would hang the query forever.
+        """
+        child = self._by_name.pop(name, None)
+        if child is None:
+            child = self._detached.pop(name, None)
+            if child is None:
+                return []
+            lost = list(child.inflight.items())
+            child.inflight.clear()
+            return lost
+        if child in self.children:
+            self.children.remove(child)
+        try:
+            self._idle.remove(child)
+        except ValueError:
+            pass
+        lost = list(child.inflight.items())
+        child.inflight.clear()
+        child.outstanding = 0
+        for row in self.batcher.take_buffer(name):
+            lost.append((-1, row))
+        return lost
+
+    def _register_failure(
+        self, row: tuple, *, child: str, seq: int, error: str
+    ) -> str:
+        """Account one failed call and decide its fate per ``on_error``.
+
+        Returns ``"retry"`` (caller redelivers the row) or ``"skip"``
+        (caller writes the row off); raises :class:`ReproError` under the
+        ``fail`` policy, an exhausted redelivery budget, or an open
+        circuit breaker.
+        """
+        policy = self.costs.on_error
+        self.failed_calls += 1
+        self._failed_in_invocation += 1
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "call_failed",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            child=child,
+            seq=seq,
+            policy=policy,
+            error=error,
+        )
+        if policy == "fail":
+            raise ReproError(f"query process {child} failed: {error}")
+        resolved = self._ok_in_invocation + self._failed_in_invocation
+        if (
+            resolved >= self.costs.breaker_min_calls
+            and self._failed_in_invocation / resolved > self.costs.breaker_threshold
+        ):
+            self.ctx.trace.record(
+                self.ctx.kernel.now(),
+                "breaker_open",
+                process=self.ctx.process_name,
+                plan_function=self.plan_function.name,
+                failed=self._failed_in_invocation,
+                resolved=resolved,
+            )
+            raise ReproError(
+                f"circuit breaker open for {self.plan_function.name}: "
+                f"{self._failed_in_invocation} of {resolved} calls failed"
+            )
+        if policy == "retry":
+            key = repr(row)
+            attempt = self._fail_counts.get(key, 0) + 1
+            self._fail_counts[key] = attempt
+            if attempt > self.costs.max_redeliveries:
+                raise ReproError(
+                    f"parameter row {row!r} failed {attempt} times "
+                    f"(max_redeliveries={self.costs.max_redeliveries}): {error}"
+                )
+            self.ctx.trace.record(
+                self.ctx.kernel.now(),
+                "redeliver",
+                process=self.ctx.process_name,
+                plan_function=self.plan_function.name,
+                row=key,
+                attempt=attempt,
+                failed_child=child,
+            )
+            return "retry"
+        self.skipped_rows += 1
+        return "skip"
+
+    async def _respawn(self, died: str, reason: str, lost_rows: int) -> None:
+        """Replace a dead child (re-shipping the plan function)."""
+        await self.spawn_children(1)
+        replacement = self.children[-1].endpoints.name
+        self.total_respawns += 1
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "respawn",
+            process=self.ctx.process_name,
+            plan_function=self.plan_function.name,
+            died=died,
+            reason=reason,
+            replacement=replacement,
+            lost_rows=lost_rows,
+        )
+
+    def _reset_invocation_state(self) -> None:
+        """Clear per-invocation dispatch state after a failed invocation.
+
+        A pool whose ``run()`` raised would otherwise keep stale
+        ``_pending`` rows, nonzero ``outstanding`` counts, a stale
+        ``_idle`` deque and buffered batches — and nested pools persist
+        across invocations, so the *next* parameter stream through the
+        same operator would replay stale tuples or under-dispatch.
+        Synchronous on purpose: it must be safe to call from the
+        ``GeneratorExit`` path of an abandoned generator.
+        """
+        self._pending.clear()
+        self.batcher.discard()
+        for child in self.children:
+            child.outstanding = 0
+            child.inflight.clear()
+        for child in self._detached.values():
+            child.inflight.clear()
+        self._detached.clear()
+        self._idle.clear()
+        self._idle.extend(self.children)
+        self._fail_counts.clear()
+
+    def _dirty(self) -> bool:
+        """Leftover per-invocation state from a failed previous run?"""
+        return bool(
+            self._pending
+            or self._detached
+            or any(child.outstanding or child.inflight for child in self.children)
+        )
+
     # -- the operator loop ----------------------------------------------------------
 
     async def run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
@@ -228,10 +449,19 @@ class ChildPool:
             raise PlanError("operator pool used after shutdown")
         if not self.children:
             await self.on_first_use()
+        self._epoch += 1
+        epoch = self._epoch
+        if self._dirty():
+            # Defensive: the previous invocation failed without running
+            # its reset (e.g. its generator was never finalized).
+            self._reset_invocation_state()
+        self._fail_counts.clear()
+        self._ok_in_invocation = 0
+        self._failed_in_invocation = 0
 
         kernel = self.ctx.kernel
         pump = kernel.spawn(
-            self._pump(source), name=f"{self.ctx.process_name}-pump"
+            self._pump(source, epoch), name=f"{self.ctx.process_name}-pump"
         )
         in_flight = 0
         input_done = False
@@ -249,12 +479,16 @@ class ChildPool:
                     break
                 message = await self.inbox.recv()
                 if isinstance(message, InputAvailable):
+                    if message.epoch != epoch:
+                        continue  # stale input of a failed previous run
                     in_flight += 1
                     if barrier_buffer is not None:
                         barrier_buffer.append(message.row)
                     else:
                         await self._dispatch(message.row)
                 elif isinstance(message, InputExhausted):
+                    if message.epoch != epoch:
+                        continue
                     input_done = True
                     if barrier_buffer is not None:
                         for row in barrier_buffer:
@@ -264,12 +498,21 @@ class ChildPool:
                         first_round_announced = True
                         self._broadcast_ready()
                 elif isinstance(message, InputFailed):
+                    if message.epoch != epoch:
+                        continue
                     raise ReproError(message.message)
                 elif isinstance(message, ResultTuple):
+                    if message.seq >= 0:
+                        owner = self._find_child(message.child)
+                        if owner is None or message.seq not in owner.inflight:
+                            continue  # row of a call already written off
                     self.batcher.counters.result_tuples += 1
                     self.on_result(message)
                     yield message.row
                 elif isinstance(message, ResultBatch):
+                    owner = self._find_child(message.child)
+                    if owner is None:
+                        continue  # whole batch stale (child evicted)
                     self.batcher.counters.result_batches += 1
                     self.batcher.counters.batched_results += len(message.rows)
                     # Replay the batch as the per-call interleaving of the
@@ -277,47 +520,114 @@ class ChildPool:
                     # end-of-call, in execution order.
                     cursor = 0
                     for end_of_call in message.end_of_calls:
-                        for row in message.rows[cursor : cursor + end_of_call.rows]:
-                            self.on_result(ResultTuple(message.child, row))
-                            yield row
+                        rows = message.rows[cursor : cursor + end_of_call.rows]
                         cursor += end_of_call.rows
+                        if end_of_call.seq not in owner.inflight:
+                            continue  # call of a failed previous run
+                        owner.inflight.pop(end_of_call.seq)
+                        self._ok_in_invocation += 1
+                        for row in rows:
+                            self.on_result(
+                                ResultTuple(message.child, row, end_of_call.seq)
+                            )
+                            yield row
                         in_flight -= 1
                         self.batcher.observe(end_of_call)
-                        child = self._by_name.get(end_of_call.child)
-                        if child is not None and child in self.children:
-                            self._make_idle(child)
+                        if owner in self.children:
+                            self._make_idle(owner)
                         await self.on_end_of_call(end_of_call)
+                    self._retire_detached(message.child)
                     for row in message.rows[cursor:]:
                         # Rows of a call that errored mid-way (no end-of-call;
                         # a ChildError follows in FIFO order behind this batch).
                         self.on_result(ResultTuple(message.child, row))
                         yield row
                 elif isinstance(message, EndOfCall):
+                    owner = self._find_child(message.child)
+                    if owner is None or message.seq not in owner.inflight:
+                        continue  # call of a failed previous run
+                    owner.inflight.pop(message.seq)
+                    self._retire_detached(message.child)
+                    self._ok_in_invocation += 1
                     self.batcher.counters.end_of_calls += 1
                     in_flight -= 1
                     self.batcher.observe(message)
-                    child = self._by_name.get(message.child)
-                    if child is not None and child in self.children:
-                        self._make_idle(child)
+                    if owner in self.children:
+                        self._make_idle(owner)
                     await self.on_end_of_call(message)
+                elif isinstance(message, CallFailed):
+                    owner = self._find_child(message.child)
+                    if owner is None or message.seq not in owner.inflight:
+                        continue  # failure of a call already written off
+                    row = owner.inflight.pop(message.seq)
+                    self._retire_detached(message.child)
+                    action = self._register_failure(
+                        row, child=message.child, seq=message.seq,
+                        error=message.message,
+                    )
+                    await self.on_call_failed(message)
+                    if action == "retry":
+                        # Redeliver before freeing the failing child's
+                        # slot, so another child is preferred.
+                        await self._dispatch(row)
+                    else:
+                        in_flight -= 1
+                    if owner in self.children:
+                        self._make_idle(owner)
+                elif isinstance(message, ChildDied):
+                    if self._find_child(message.child) is None:
+                        continue  # orderly exit (drop/close) or already evicted
+                    detached = message.child in self._detached
+                    lost = self._evict(message.child)
+                    if self.costs.on_error == "fail":
+                        raise ReproError(
+                            f"query process {message.child} died"
+                            + (f": {message.reason}" if message.reason else "")
+                        )
+                    if not detached:
+                        await self._respawn(
+                            message.child, message.reason, len(lost)
+                        )
+                    for seq, row in lost:
+                        action = self._register_failure(
+                            row, child=message.child, seq=seq,
+                            error="query process died"
+                            + (f": {message.reason}" if message.reason else ""),
+                        )
+                        if action == "retry":
+                            await self._dispatch(row)
+                        else:
+                            in_flight -= 1
                 elif isinstance(message, ChildError):
+                    if self._find_child(message.child) is None:
+                        continue  # stale error of a failed previous run
+                    # Even under on_error="fail" the dead child must leave
+                    # the pool structures, or reusing the (persistent)
+                    # pool would dispatch to a process nobody runs.
+                    self._evict(message.child)
                     raise ReproError(
                         f"query process {message.child} failed: {message.message}"
                     )
                 if not first_round_announced and in_flight >= len(self.children):
                     first_round_announced = True
                     self._broadcast_ready()
+        except BaseException:
+            # Includes GeneratorExit of an abandoned invocation: leave the
+            # persistent pool ready for its next parameter stream.
+            if epoch == self._epoch and not self._closed:
+                self._reset_invocation_state()
+            raise
         finally:
             pump.cancel()
 
-    async def _pump(self, source: AsyncIterator[tuple]) -> None:
+    async def _pump(self, source: AsyncIterator[tuple], epoch: int) -> None:
         try:
             async for row in source:
-                self.inbox.send(InputAvailable(row))
+                self.inbox.send(InputAvailable(row, epoch))
         except ReproError as error:
-            self.inbox.send(InputFailed(str(error)))
+            self.inbox.send(InputFailed(str(error), epoch))
             return
-        self.inbox.send(InputExhausted())
+        self.inbox.send(InputExhausted(epoch))
 
     def _broadcast_ready(self) -> None:
         for child in self.children:
@@ -333,6 +643,9 @@ class ChildPool:
 
     async def on_end_of_call(self, message: EndOfCall) -> None:
         """Adaptation hook; the plain FF pool does nothing here."""
+
+    async def on_call_failed(self, message: CallFailed) -> None:
+        """Monitoring hook for failed calls; the plain FF pool ignores it."""
 
     # -- shutdown ------------------------------------------------------------------
 
@@ -351,6 +664,7 @@ class ChildPool:
         self.children.clear()
         self._idle.clear()
         self._by_name.clear()
+        self._detached.clear()
         if self.batcher.counters.any():
             self.ctx.trace.record(
                 self.ctx.kernel.now(),

@@ -5,9 +5,10 @@ Downlink (parent -> child):
     :class:`Shutdown`.
 Uplink (child -> parent, one shared inbox per operator instance):
     :class:`ResultTuple`, :class:`ResultBatch`, :class:`EndOfCall`,
-    :class:`ChildError`.
+    :class:`CallFailed`, :class:`ChildError`.
 Internal to the parent's event loop (from its input pump task):
-    :class:`InputAvailable`, :class:`InputExhausted`, :class:`InputFailed`.
+    :class:`InputAvailable`, :class:`InputExhausted`, :class:`InputFailed`;
+    and from the per-child death watchers: :class:`ChildDied`.
 
 Plan functions travel as serialized dicts — the receiving process
 re-hydrates its own copy, which is what makes the code shipping real.
@@ -61,6 +62,11 @@ class ReadyToReceive:
 class ResultTuple:
     child: str
     row: tuple
+    # Sequence number of the call that produced the row, so the parent can
+    # discard rows of calls it has already written off (a failed previous
+    # invocation of a persistent pool).  -1 = unknown (hand-built
+    # messages); such rows are always accepted.
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -97,15 +103,51 @@ class ChildError:
 
 
 @dataclass(frozen=True)
+class CallFailed:
+    """One call failed, but the child keeps serving (``on_error != "fail"``).
+
+    Carries everything the parent needs to handle the failure under its
+    policy: the call's sequence number, the parameter row (for
+    redelivery), and the error text.  No partial result rows of the call
+    were shipped — the child buffers a call's rows until it succeeds, so
+    redelivery cannot duplicate output.
+    """
+
+    child: str
+    seq: int
+    row: tuple
+    message: str
+
+
+@dataclass(frozen=True)
+class ChildDied:
+    """A query process exited without being told to shut down.
+
+    Sent to the parent's inbox by the per-child death watcher, never by
+    the child itself, so it arrives even when the child crashed without a
+    final message.
+    """
+
+    child: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class InputAvailable:
     row: tuple
+    # Invocation epoch of the pump that sent the message.  A persistent
+    # pool whose previous invocation failed can find that invocation's
+    # input messages still in its inbox; the epoch lets the next
+    # invocation drop them instead of replaying stale tuples.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
 class InputExhausted:
-    pass
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
 class InputFailed:
     message: str
+    epoch: int = 0

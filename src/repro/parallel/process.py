@@ -6,6 +6,22 @@ execution — Sec. III), installs it, then loops: receive a parameter tuple,
 execute the plan function for it, stream the result tuples back, send an
 end-of-call message, repeat.  A ``Shutdown`` message ends the process,
 cascading to any children of nested operators via the executor's pools.
+
+Failure semantics follow ``ProcessCosts.on_error``:
+
+* ``fail`` (the paper's behavior, the default): the first ``ReproError``
+  of a call is reported as a :class:`ChildError` and the process exits —
+  the parent aborts the query.
+* ``retry``/``skip``: a failed call is reported as a :class:`CallFailed`
+  (sequence number, parameter row, error text) and the process *keeps
+  serving*; the parent decides what happens to the row.  To make
+  redelivery safe, a call's result rows are buffered child-side and only
+  shipped after the call succeeded — a failed call therefore contributes
+  no output, so re-running it cannot duplicate rows.
+
+``ProcessCosts.faults`` optionally injects deterministic per-call failures
+and process crashes (see :mod:`repro.parallel.faults`); a crash escapes
+the receive loop entirely, and the parent's death watcher notices.
 """
 
 from __future__ import annotations
@@ -16,6 +32,7 @@ from repro.algebra.interpreter import ExecutionContext, iterate_plan
 from repro.algebra.plan import PlanFunction
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
+    CallFailed,
     ChildError,
     EndOfCall,
     ParamBatch,
@@ -67,31 +84,78 @@ async def child_main(
         plan_function=plan_function.name,
     )
 
+    fail_fast = costs.on_error == "fail"
+    injector = (
+        costs.faults.injector_for(endpoints.name)
+        if costs.faults is not None and costs.faults.active()
+        else None
+    )
+
     try:
         while True:
             message = await endpoints.downlink.recv()
             if isinstance(message, Shutdown):
                 break
             if isinstance(message, ParamTuple):
-                rows_for_call = 0
+                if fail_fast:
+                    rows_for_call = 0
+                    started = kernel.now()
+                    try:
+                        if injector is not None:
+                            injector.before_call()
+                        async for row in iterate_plan(
+                            plan_function.body, ctx, param_row=message.row
+                        ):
+                            await kernel.sleep(costs.result_tuple)
+                            endpoints.uplink.send(
+                                ResultTuple(endpoints.name, row, message.seq)
+                            )
+                            rows_for_call += 1
+                    except ReproError as error:
+                        endpoints.uplink.send(ChildError(endpoints.name, str(error)))
+                        break
+                    endpoints.calls_handled += 1
+                    endpoints.rows_emitted += rows_for_call
+                    endpoints.uplink.send(
+                        EndOfCall(
+                            endpoints.name,
+                            message.seq,
+                            rows_for_call,
+                            service_time=kernel.now() - started,
+                        )
+                    )
+                    continue
+                # Contained-failure mode: buffer the call's rows so a
+                # failed call ships nothing (redelivery stays exact),
+                # report the failure, and keep serving.
+                call_rows: list[tuple] = []
                 started = kernel.now()
                 try:
+                    if injector is not None:
+                        injector.before_call()
                     async for row in iterate_plan(
                         plan_function.body, ctx, param_row=message.row
                     ):
                         await kernel.sleep(costs.result_tuple)
-                        endpoints.uplink.send(ResultTuple(endpoints.name, row))
-                        rows_for_call += 1
+                        call_rows.append(row)
                 except ReproError as error:
-                    endpoints.uplink.send(ChildError(endpoints.name, str(error)))
-                    break
+                    endpoints.uplink.send(
+                        CallFailed(
+                            endpoints.name, message.seq, message.row, str(error)
+                        )
+                    )
+                    continue
                 endpoints.calls_handled += 1
-                endpoints.rows_emitted += rows_for_call
+                endpoints.rows_emitted += len(call_rows)
+                for row in call_rows:
+                    endpoints.uplink.send(
+                        ResultTuple(endpoints.name, row, message.seq)
+                    )
                 endpoints.uplink.send(
                     EndOfCall(
                         endpoints.name,
                         message.seq,
-                        rows_for_call,
+                        len(call_rows),
                         service_time=kernel.now() - started,
                     )
                 )
@@ -102,26 +166,39 @@ async def child_main(
                 batch_rows: list[tuple] = []
                 end_of_calls: list[EndOfCall] = []
                 error_text: str | None = None
+                failures: list[CallFailed] = []
                 for offset, param_row in enumerate(message.rows):
-                    rows_for_call = 0
+                    seq = message.seq_start + offset
+                    call_rows = []
                     started = kernel.now()
                     try:
+                        if injector is not None:
+                            injector.before_call()
                         async for row in iterate_plan(
                             plan_function.body, ctx, param_row=param_row
                         ):
                             await kernel.sleep(costs.result_tuple)
-                            batch_rows.append(row)
-                            rows_for_call += 1
+                            call_rows.append(row)
                     except ReproError as error:
-                        error_text = str(error)
-                        break
+                        if fail_fast:
+                            # Seed semantics: ship the partial rows (the
+                            # parent replays them as the trailing rows of
+                            # the batch), then the error, then exit.
+                            batch_rows.extend(call_rows)
+                            error_text = str(error)
+                            break
+                        failures.append(
+                            CallFailed(endpoints.name, seq, param_row, str(error))
+                        )
+                        continue
                     endpoints.calls_handled += 1
-                    endpoints.rows_emitted += rows_for_call
+                    endpoints.rows_emitted += len(call_rows)
+                    batch_rows.extend(call_rows)
                     end_of_calls.append(
                         EndOfCall(
                             endpoints.name,
-                            message.seq_start + offset,
-                            rows_for_call,
+                            seq,
+                            len(call_rows),
                             service_time=kernel.now() - started,
                         )
                     )
@@ -133,6 +210,8 @@ async def child_main(
                             tuple(end_of_calls),
                         )
                     )
+                for failure in failures:
+                    endpoints.uplink.send(failure)
                 if error_text is not None:
                     endpoints.uplink.send(ChildError(endpoints.name, error_text))
                     break

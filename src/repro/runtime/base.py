@@ -144,9 +144,18 @@ class Kernel(ABC):
             await self.sleep(timeout)
             done.set()
 
-        self.spawn(watch(), name="wait_for-watch")
-        self.spawn(timer(), name="wait_for-timer")
-        await done.wait()
+        watcher = self.spawn(watch(), name="wait_for-watch")
+        sleeper = self.spawn(timer(), name="wait_for-timer")
+        try:
+            await done.wait()
+        finally:
+            # Whichever helper lost the race must not outlive the call:
+            # a leaked sleeper would stay pinned for the full timeout on
+            # every timed call that finished early.
+            if not sleeper.done:
+                sleeper.cancel()
+            if not watcher.done:
+                watcher.cancel()
         if task.done:
             return await task.join()
         task.cancel()

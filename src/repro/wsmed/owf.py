@@ -136,6 +136,18 @@ class OperationWrapper:
             except ServiceFault as fault:
                 attempt += 1
                 if not fault.retriable or attempt > ctx.retries:
+                    # The fault survived the call-level retries; what
+                    # happens next is the pool's on_error decision, so
+                    # leave a marker the fault report can pick up.
+                    ctx.trace.record(
+                        ctx.kernel.now(),
+                        "call_fault",
+                        process=ctx.process_name,
+                        operation=self.name,
+                        attempts=attempt,
+                        retriable=fault.retriable,
+                        error=str(fault),
+                    )
                     raise
                 ctx.trace.record(
                     ctx.kernel.now(),

@@ -8,6 +8,7 @@ from typing import Iterator
 from repro.cache import CacheStats
 from repro.fdb.values import Bag
 from repro.parallel.batching import MessageStats
+from repro.parallel.faults import FaultStats
 from repro.parallel.tree import TreeStats
 from repro.services.broker import CallStats
 from repro.util.trace import TraceLog
@@ -37,6 +38,10 @@ class QueryResult:
     # query (per-tuple and batched, both directions).  Central-mode runs
     # send no inter-process messages, so all counters stay 0.
     message_stats: MessageStats = field(default_factory=MessageStats)
+    # Failure accounting aggregated over every operator pool (failed
+    # calls, redeliveries, skips, respawns, breaker trips); all zero on a
+    # clean run.
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -78,6 +83,7 @@ class QueryResult:
             },
             "cache": self.cache_stats.as_dict() if self.cache_stats else None,
             "messages": self.message_stats.as_dict(),
+            "faults": self.fault_stats.as_dict(),
             "tree": {
                 "processes_spawned": self.tree.processes_spawned,
                 "processes_dropped": self.tree.processes_dropped,
@@ -123,7 +129,21 @@ class QueryResult:
             lines.append("  " + self.cache_report())
         if self.message_stats.param_batches or self.message_stats.result_batches:
             lines.append("  " + self.batch_report())
+        if self.fault_stats.any():
+            lines.append("  " + self.fault_report())
         return "\n".join(lines)
+
+    def fault_report(self) -> str:
+        """One-line failure report (the CLI's ``\\faults`` output)."""
+        stats = self.fault_stats
+        if not stats.any():
+            return "faults: none"
+        return (
+            f"faults: {stats.failed_calls} failed calls, "
+            f"{stats.redeliveries} redelivered, {stats.skipped_rows} skipped, "
+            f"{stats.respawns} children respawned, "
+            f"{stats.breaker_trips} breaker trips"
+        )
 
     def batch_report(self) -> str:
         """One-line micro-batching report (the CLI's ``\\batch`` output)."""

@@ -30,6 +30,8 @@ import enum
 from repro.algebra.central import create_central_plan
 from repro.algebra.cost import CostModel, estimate_plan
 from repro.algebra.explain import render_plan
+from dataclasses import replace as _replace
+
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import AdaptationParams, PlanNode
 from repro.cache import CacheConfig, aggregate_stats
@@ -40,6 +42,7 @@ from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
 from repro.fdb.types import CHARSTRING, TupleType
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
+from repro.parallel.faults import FaultInjection, fault_stats_from_trace
 from repro.parallel.parallelizer import parallelize
 from repro.parallel.tree import tree_stats_from_trace
 from repro.runtime.base import Kernel
@@ -295,6 +298,8 @@ class WSMED:
         retries: int = 0,
         cache: CacheConfig | None = None,
         process_costs: ProcessCosts | None = None,
+        on_error: str | None = None,
+        faults: FaultInjection | None = None,
         name: str = "Query",
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
@@ -307,11 +312,19 @@ class WSMED:
         when enabled, every query process memoizes its web-service calls.
         ``process_costs`` overrides the system-wide cost model for this
         query (e.g. to enable micro-batching via ``batch_size``).
+        ``on_error`` / ``faults`` are shortcuts that override the pool
+        failure policy and fault-injection knobs of the effective
+        process costs (see :class:`~repro.parallel.costs.ProcessCosts`).
         """
         mode = ExecutionMode.of(mode)
         plan = self.plan(
             sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
         )
+        effective_costs = process_costs or self.process_costs
+        if on_error is not None:
+            effective_costs = _replace(effective_costs, on_error=on_error)
+        if faults is not None:
+            effective_costs = _replace(effective_costs, faults=faults)
         kernel = kernel or SimKernel()
         broker = self.registry.bind(kernel, seed=self.seed, fault_rate=fault_rate)
         ctx = ExecutionContext(
@@ -321,7 +334,7 @@ class WSMED:
             retries=retries,
         )
         ctx.install_cache(cache if cache is not None else self.cache_config)
-        executor = ParallelExecutor(ctx, process_costs or self.process_costs)
+        executor = ParallelExecutor(ctx, effective_costs)
 
         async def timed() -> tuple[list[tuple], float]:
             started = kernel.now()
@@ -343,4 +356,5 @@ class WSMED:
                 aggregate_stats(ctx.cache_registry) if ctx.cache_registry else None
             ),
             message_stats=message_stats_from_trace(ctx.trace),
+            fault_stats=fault_stats_from_trace(ctx.trace),
         )

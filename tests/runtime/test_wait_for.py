@@ -1,5 +1,7 @@
 """wait_for on both kernels (the simulated tests live in test_timeouts)."""
 
+import asyncio
+
 import pytest
 
 from repro.runtime.realtime import AsyncioKernel
@@ -33,6 +35,63 @@ def test_wait_for_timeout(make_kernel) -> None:
         return "survived"
 
     assert kernel.run(main()) == "survived"
+
+
+def test_wait_for_leaves_no_helper_tasks_sim() -> None:
+    """Neither the timer nor the watcher may outlive the call (either path).
+
+    A leaked timer stays pinned for the full timeout on every timed call
+    that finished early — under the simulated kernel that means spurious
+    heap events (and under ``asyncio``, a real sleeping task) per call.
+    """
+    kernel = SimKernel()
+
+    async def quick():
+        await kernel.sleep(1.0)
+        return "ok"
+
+    async def slow():
+        await kernel.sleep(10_000.0)
+
+    async def main():
+        result = await kernel.wait_for(quick(), timeout=50_000.0)
+        with pytest.raises(TimeoutError):
+            await kernel.wait_for(slow(), timeout=10.0)
+        for _ in range(5):  # let the scheduled cancellations run
+            await kernel.sleep(0)
+        stray = [
+            task.name
+            for task in kernel._tasks
+            if not task.done and task.name.startswith("wait_for")
+        ]
+        assert stray == []
+        return result
+
+    assert kernel.run(main()) == "ok"
+
+
+def test_wait_for_leaves_no_helper_tasks_asyncio() -> None:
+    kernel = AsyncioKernel(time_scale=0.001)
+
+    async def quick():
+        await kernel.sleep(1.0)
+        return "ok"
+
+    async def main():
+        # A timeout far in the future: a leaked timer would still be
+        # sleeping when the check below runs.
+        result = await kernel.wait_for(quick(), timeout=500_000.0)
+        for _ in range(5):
+            await asyncio.sleep(0)
+        stray = [
+            task.get_name()
+            for task in asyncio.all_tasks()
+            if not task.done() and task.get_name().startswith("wait_for")
+        ]
+        assert stray == []
+        return result
+
+    assert kernel.run(main()) == "ok"
 
 
 def test_wait_for_nested_under_sim() -> None:

@@ -236,3 +236,58 @@ def test_cli_cache_flag_reports_in_summary() -> None:
     )
     assert code == 0
     assert "call cache:" in output
+
+
+def test_shell_faults_policy_and_injection_toggles(wsmed) -> None:
+    script = (
+        "\\faults\n"
+        "\\faults retry\n"
+        "\\faults inject 0.1 0.01\n"
+        "\\faults off\n"
+        "\\faults maybe\n"
+        "\\quit\n"
+    )
+    output = run_shell(wsmed, script)
+    assert "on_error = fail; injection = none (no execution yet)" in output
+    assert "on_error = retry" in output
+    assert "fault injection: call failure 0.1, crash 0.01" in output
+    assert "faults = off (policy fail, no injection)" in output
+    assert "usage: \\faults [fail|retry|skip | inject P [C] | off]" in output
+
+
+def test_shell_faults_reports_after_execution(wsmed) -> None:
+    script = (
+        "\\mode parallel\n"
+        "\\fanouts 4\n"
+        "\\faults retry\n"
+        "\\faults inject 0.05\n"
+        "SELECT gp.ToCity FROM GetAllStates gs, GetPlacesWithin gp "
+        "WHERE gp.state = gs.State AND gp.place = 'Atlanta' "
+        "AND gp.distance = 15.0 AND gp.placeTypeToFind = 'City';\n"
+        "\\faults\n"
+        "\\quit\n"
+    )
+    output = run_shell(wsmed, script)
+    assert "faults:" in output
+    assert "failed calls" in output
+
+
+def test_cli_on_error_flag_accepted() -> None:
+    code, output = run_cli(
+        [
+            "--profile",
+            "fast",
+            "--mode",
+            "parallel",
+            "--fanouts",
+            "3",
+            "--on-error",
+            "retry",
+            "--query",
+            "SELECT gp.ToCity FROM GetAllStates gs, GetPlacesWithin gp "
+            "WHERE gp.state = gs.State AND gp.place = 'Atlanta' "
+            "AND gp.distance = 15.0 AND gp.placeTypeToFind = 'City'",
+        ]
+    )
+    assert code == 0
+    assert "Atlanta" in output

@@ -219,3 +219,77 @@ def test_retry_in_parallel_child(wsmed) -> None:
         event.data["process"] for event in result.trace.events("retry")
     }
     assert retry_processes  # at least one retry happened somewhere
+
+
+def test_retry_trace_events_number_the_attempts(wsmed) -> None:
+    """Each ``retry`` event carries the operation and a 1-based attempt."""
+    sql = "SELECT gs.Name FROM GetAllStates gs WHERE gs.State = 'Ohio'"
+    result = wsmed.sql(sql, fault_rate=0.7, retries=25)
+    retries = result.trace.events("retry")
+    assert retries  # the 0.7 fault rate guarantees at least one
+    attempts = [event.data["attempt"] for event in retries]
+    assert attempts == list(range(1, len(retries) + 1))
+    assert all(event.data["operation"] == "GetAllStates" for event in retries)
+
+
+def test_exhausted_retries_leave_a_call_fault_marker(wsmed) -> None:
+    """A fault that survives the call-level retries is marked in the trace.
+
+    Driven against the OWF wrapper directly so the trace survives the
+    raised fault (the facade's trace is unreachable when ``sql`` raises).
+    """
+    from repro.algebra.interpreter import ExecutionContext
+    from repro.runtime.simulated import SimKernel
+
+    kernel = SimKernel()
+    broker = wsmed.registry.bind(kernel, fault_rate=0.999)
+    ctx = ExecutionContext(
+        kernel=kernel, broker=broker, functions=wsmed.functions, retries=2
+    )
+    wrapper = wsmed.functions.resolve("GetAllStates").implementation
+
+    async def main():
+        with pytest.raises(ServiceFault):
+            await wrapper.call(ctx, [])
+
+    kernel.run(main())
+    markers = ctx.trace.events("call_fault")
+    assert len(markers) == 1
+    data = markers[0].data
+    assert data["operation"] == "GetAllStates"
+    # attempts = the initial call plus every recorded retry.
+    assert data["attempts"] == 1 + ctx.trace.count("retry")
+    assert "error" in data
+    assert "retriable" in data
+
+
+def test_fault_stats_surface_on_the_query_result(wsmed) -> None:
+    from repro.parallel.faults import FaultInjection
+
+    sql = (
+        "SELECT gp.ToCity FROM GetAllStates gs, GetPlacesWithin gp "
+        "WHERE gp.state = gs.State AND gp.place = 'Atlanta' "
+        "AND gp.distance = 15.0 AND gp.placeTypeToFind = 'City'"
+    )
+    clean = wsmed.sql(sql, mode="parallel", fanouts=[4])
+    assert not clean.fault_stats.any()
+    assert clean.fault_report() == "faults: none"
+    assert "faults:" not in clean.summary()
+
+    result = wsmed.sql(
+        sql,
+        mode="parallel",
+        fanouts=[4],
+        on_error="retry",
+        faults=FaultInjection(call_failure_probability=0.05),
+    )
+    assert result.as_bag() == clean.as_bag()
+    assert result.fault_stats.failed_calls > 0
+    assert result.fault_stats.redeliveries > 0
+    assert "failed calls" in result.fault_report()
+    assert "faults:" in result.summary()
+
+    import json
+
+    payload = json.loads(result.to_json())
+    assert payload["faults"] == result.fault_stats.as_dict()
