@@ -25,6 +25,7 @@ The package layers (see DESIGN.md for the full inventory):
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
+from repro.engine import EngineStats, QueryEngine
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.faults import FaultInjection, FaultStats
 from repro.parallel.tree import FanoutVector
@@ -73,6 +74,8 @@ __all__ = [
     "build_registry",
     "ReproError",
     "QueryResult",
+    "QueryEngine",
+    "EngineStats",
     "WSMED",
     "ExecutionMode",
     "QUERY1_SQL",

@@ -34,7 +34,7 @@ from repro.algebra.plan import (
 )
 from repro.fdb.functions import FunctionKind, FunctionRegistry
 from repro.runtime.base import Kernel
-from repro.services.broker import ServiceBroker
+from repro.services.broker import CallRecorder, ServiceBroker
 from repro.util.errors import PlanError
 from repro.util.trace import TraceLog
 
@@ -82,6 +82,10 @@ class ExecutionContext:
     # Every cache created for this query (coordinator + children), shared
     # across derived contexts so the coordinator can aggregate counters.
     cache_registry: list = field(default_factory=list)
+    # Per-query statistics sink mirrored by the broker; None leaves the
+    # broker's own (global) counters as the only record, which is the
+    # one-query-per-broker seed behaviour.
+    call_recorder: Optional[CallRecorder] = None
     # Shared mutable counter for unique process names across the query.
     _name_counter: list = field(default_factory=lambda: [0])
 

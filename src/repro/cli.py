@@ -26,6 +26,7 @@ from typing import IO
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig
+from repro.engine import QueryEngine
 from repro.parallel.faults import FaultInjection
 from repro.util.errors import ReproError
 from repro.wsmed.results import QueryResult
@@ -75,9 +76,14 @@ class Shell:
         retries: int = 0,
         cache: CacheConfig | None = None,
         on_error: str | None = None,
+        engine: QueryEngine | None = None,
     ) -> None:
         self.wsmed = wsmed
         self.out = out
+        # With a resident engine the shell is *warm*: repeated queries
+        # reuse compiled plans and child-process trees across statements
+        # instead of cold-starting per query (see repro.engine).
+        self.engine = engine
         self.mode = mode
         self.fanouts = fanouts
         self.adaptation = AdaptationParams()
@@ -113,7 +119,8 @@ class Shell:
             kwargs["on_error"] = self.on_error
         if self.fault_injection is not None:
             kwargs["faults"] = self.fault_injection
-        result = self.wsmed.sql(
+        runner = self.engine.sql if self.engine is not None else self.wsmed.sql
+        result = runner(
             sql,
             mode=self.mode,
             retries=self.retries,
@@ -163,6 +170,14 @@ class Shell:
             self._batch_command(argument)
         elif command == "faults":
             self._faults_command(argument)
+        elif command == "engine":
+            if self.engine is None:
+                self.write(
+                    "resident engine: off (start with --engine to keep "
+                    "plans and process trees warm between queries)"
+                )
+            else:
+                self.write(self.engine.stats().report())
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -344,6 +359,7 @@ meta commands:
   \\faults P         failure policy: fail | retry | skip
   \\faults inject F [C]  inject per-call failures (prob F) / crashes (C)
   \\faults off       seed behavior: policy fail, no injection
+  \\engine           resident-engine statistics (plan cache, warm pools)
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -384,6 +400,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         choices=("fail", "retry", "skip"),
         help="pool policy for failed web-service calls (default: fail)",
     )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="run queries on a resident engine (warm plans and process trees)",
+    )
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
@@ -396,6 +417,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     wsmed = WSMED(profile=arguments.profile)
     wsmed.import_all()
     fanouts = _parse_fanouts(arguments.fanouts) if arguments.fanouts else None
+    engine = QueryEngine(wsmed) if arguments.engine else None
     shell = Shell(
         wsmed,
         out,
@@ -404,6 +426,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         retries=arguments.retries,
         cache=CacheConfig(enabled=True) if arguments.cache else None,
         on_error=arguments.on_error,
+        engine=engine,
     )
     if arguments.batch:
         if arguments.batch.strip().lower() == "adaptive":
@@ -418,19 +441,23 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
                     file=out,
                 )
                 return 1
-    if arguments.query is None:
-        shell.repl(sys.stdin)
-        return 0
     try:
-        if arguments.explain:
-            shell.explain(arguments.query)
-        else:
-            shell.run_sql(arguments.query)
-            if arguments.tree:
-                print(shell.last_result.process_tree(), file=out)
-            if arguments.summary:
-                print(shell.last_result.summary(), file=out)
-    except ReproError as error:
-        print(f"error: {error}", file=out)
-        return 1
-    return 0
+        if arguments.query is None:
+            shell.repl(sys.stdin)
+            return 0
+        try:
+            if arguments.explain:
+                shell.explain(arguments.query)
+            else:
+                shell.run_sql(arguments.query)
+                if arguments.tree:
+                    print(shell.last_result.process_tree(), file=out)
+                if arguments.summary:
+                    print(shell.last_result.summary(), file=out)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+            return 1
+        return 0
+    finally:
+        if engine is not None:
+            engine.close()

@@ -1,0 +1,22 @@
+"""Resident query engine: plan cache, warm pools, multi-query admission."""
+
+from repro.engine.engine import EngineStats, QueryEngine
+from repro.engine.plan_cache import (
+    CompiledPlan,
+    PlanCache,
+    PlanCacheStats,
+    plan_dependencies,
+)
+from repro.engine.pools import PoolRegistry, PoolRegistryStats, pool_fingerprint
+
+__all__ = [
+    "CompiledPlan",
+    "EngineStats",
+    "PlanCache",
+    "PlanCacheStats",
+    "PoolRegistry",
+    "PoolRegistryStats",
+    "QueryEngine",
+    "plan_dependencies",
+    "pool_fingerprint",
+]

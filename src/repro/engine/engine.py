@@ -1,0 +1,369 @@
+"""The resident query engine: one kernel, many queries.
+
+``WSMED.sql`` is one-shot: every call builds a fresh kernel, binds a
+fresh broker, compiles the query from scratch, spawns a new tree of
+child query processes, runs, and tears everything down.  That is the
+paper's experimental setup, but a mediator serving traffic pays the
+compile and cold-start cost on every query.  :class:`QueryEngine` makes
+the expensive parts resident:
+
+* **one kernel, one broker** — bound at construction; the simulated or
+  real-time world persists across queries, so server-side state
+  (endpoint semaphores, the seeded jitter stream) behaves like one
+  long-running service substrate;
+* **compiled-plan cache** — :class:`~repro.engine.plan_cache.PlanCache`
+  keyed by ``(sql, mode, fanouts, adaptation, name)``, invalidated when
+  ``import_wsdl``/``register_helping_function`` replaces a definition;
+* **warm child-pool reuse** — coordinator-level operator pools are
+  leased from / released to a :class:`~repro.engine.pools.PoolRegistry`
+  instead of being spawned and shut down per query, so a warm query
+  ships zero plan functions and spawns zero processes (and its children
+  keep their call caches);
+* **concurrent admission** — :meth:`sql_many` multiplexes N queries on
+  the one kernel behind a bounded admission semaphore; per-query
+  isolation comes from a fresh :class:`~repro.util.trace.TraceLog` and
+  :class:`~repro.services.broker.CallRecorder` per query plus per-query
+  cache counters, so concurrent :class:`QueryResult`s never share
+  statistics.
+
+A cold first query at concurrency 1 replays the seed timeline exactly —
+same rows, same trace events, same message counts; the only difference
+is that process shutdown happens at :meth:`close` instead of at the end
+of the query (so ``elapsed`` excludes teardown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from dataclasses import replace as _replace
+
+from repro.algebra.explain import render_plan
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import AdaptationParams
+from repro.cache import CacheConfig, CacheStats, CallCache, aggregate_stats
+from repro.engine.plan_cache import CompiledPlan, PlanCache, plan_dependencies
+from repro.engine.pools import PoolRegistry
+from repro.parallel.batching import message_stats_from_trace
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.faults import FaultInjection, fault_stats_from_trace
+from repro.parallel.tree import tree_stats_from_trace
+from repro.runtime.base import Kernel
+from repro.runtime.simulated import SimKernel
+from repro.services.broker import CallRecorder
+from repro.util.errors import ReproError
+from repro.wsmed.results import QueryResult
+from repro.wsmed.system import WSMED, ExecutionMode
+
+
+@dataclass
+class EngineStats:
+    """A point-in-time snapshot of the engine's resident state."""
+
+    queries: int
+    active: int
+    peak_concurrency: int
+    max_concurrency: int
+    plan_cache_hits: int
+    plan_cache_misses: int
+    plan_cache_evictions: int
+    plan_cache_invalidations: int
+    plan_cache_entries: int
+    warm_leases: int
+    cold_starts: int
+    pools_condemned: int
+    pools_trimmed: int
+    pools_closed: int
+    idle_pools: int
+    resident_processes: int
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    def report(self) -> str:
+        lines = [
+            f"queries executed: {self.queries} "
+            f"(active {self.active}, peak concurrency {self.peak_concurrency}"
+            f"/{self.max_concurrency})",
+            f"plan cache: {self.plan_cache_hits} hits, "
+            f"{self.plan_cache_misses} misses, "
+            f"{self.plan_cache_entries} cached "
+            f"({self.plan_cache_evictions} evicted, "
+            f"{self.plan_cache_invalidations} invalidated)",
+            f"pools: {self.warm_leases} warm leases, "
+            f"{self.cold_starts} cold starts, {self.idle_pools} idle "
+            f"({self.pools_condemned} condemned, {self.pools_trimmed} trimmed, "
+            f"{self.pools_closed} closed)",
+            f"resident query processes: {self.resident_processes}",
+        ]
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Resident, multi-query execution service on top of :class:`WSMED`.
+
+    ::
+
+        engine = QueryEngine(wsmed)
+        first = engine.sql(QUERY1_SQL, mode="parallel", fanouts=[5, 4])
+        warm = engine.sql(QUERY1_SQL, mode="parallel", fanouts=[5, 4])
+        batch = engine.sql_many([QUERY1_SQL] * 16, mode="parallel",
+                                fanouts=[5, 4])
+        engine.close()
+
+    The kernel must be *resident* (``SimKernel(resident=True)``, the
+    default, or ``AsyncioKernel(resident=True)``): a one-shot kernel
+    closes every parked task when ``run`` returns, which would kill the
+    warm child processes between queries.
+    """
+
+    def __init__(
+        self,
+        wsmed: WSMED,
+        *,
+        kernel: Kernel | None = None,
+        max_concurrency: int = 8,
+        plan_cache_size: int = 64,
+        max_idle_pools: int = 32,
+        fault_rate: float = 0.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ReproError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.wsmed = wsmed
+        self.kernel = kernel if kernel is not None else SimKernel(resident=True)
+        if not getattr(self.kernel, "resident", False):
+            raise ReproError(
+                "QueryEngine needs a resident kernel "
+                "(SimKernel(resident=True) or AsyncioKernel(resident=True)); "
+                "a one-shot kernel would kill warm child processes between "
+                "queries"
+            )
+        self.broker = wsmed.registry.bind(
+            self.kernel, seed=wsmed.seed, fault_rate=fault_rate
+        )
+        self.max_concurrency = max_concurrency
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.pool_registry = PoolRegistry(max_idle_pools)
+        self._admission = None  # created lazily inside the kernel
+        # One process-name counter for the engine's lifetime: the first
+        # query numbers its children q1..qN exactly like the seed, and
+        # every later (or concurrent) query continues the sequence, so
+        # names are unique across the whole engine.
+        self._name_counter = [0]
+        # Warm coordinator-side caches, pooled per config: a query leases
+        # one for its q0 process and returns it at the end, so repeated
+        # queries keep coordinator-level memoized calls too (children
+        # keep theirs via pool reuse).
+        self._coordinator_caches: dict[CacheConfig, list[CallCache]] = {}
+        self._queries = 0
+        self._active = 0
+        self._peak_active = 0
+        self._closed = False
+        wsmed.add_replace_listener(self._on_function_replaced)
+
+    # -- invalidation ------------------------------------------------------------
+
+    def _on_function_replaced(self, name: str) -> None:
+        """A definition changed: stale plans and dependent pools must go."""
+        self.plan_cache.invalidate(name)
+        self.pool_registry.condemn(name)
+
+    # -- query execution ------------------------------------------------------------
+
+    def sql(self, sql_text: str, **kwargs) -> QueryResult:
+        """Run one query to completion on the resident kernel.
+
+        Accepts the planning/execution keywords of :meth:`WSMED.sql`
+        (``mode``, ``fanouts``, ``adaptation``, ``retries``, ``cache``,
+        ``process_costs``, ``on_error``, ``faults``, ``name``) — but not
+        ``kernel`` or ``fault_rate``, which are engine-level here.
+        """
+        return self.kernel.run(self._admitted(sql_text, **kwargs))
+
+    def sql_many(self, queries, **common) -> list[QueryResult]:
+        """Run several queries concurrently on the one kernel.
+
+        ``queries`` is a list of SQL strings, or ``(sql, overrides)``
+        pairs where ``overrides`` is a keyword dict merged over
+        ``common``.  All queries are admitted through the engine's
+        semaphore (at most ``max_concurrency`` in flight) and results
+        come back in input order.
+        """
+        coros = []
+        for query in queries:
+            if isinstance(query, str):
+                coros.append(self._admitted(query, **common))
+            else:
+                sql_text, overrides = query
+                coros.append(self._admitted(sql_text, **{**common, **overrides}))
+        return self.kernel.run(self.kernel.gather(*coros))
+
+    async def _admitted(self, sql_text: str, **kwargs) -> QueryResult:
+        if self._closed:
+            raise ReproError("QueryEngine is closed")
+        if self._admission is None:
+            self._admission = self.kernel.semaphore(self.max_concurrency)
+        await self._admission.acquire()
+        self._active += 1
+        self._peak_active = max(self._peak_active, self._active)
+        try:
+            return await self._execute(sql_text, **kwargs)
+        finally:
+            self._active -= 1
+            self._admission.release()
+
+    async def _execute(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
+        fanouts: list[int] | None = None,
+        adaptation: AdaptationParams | None = None,
+        retries: int = 0,
+        cache: CacheConfig | None = None,
+        process_costs: ProcessCosts | None = None,
+        on_error: str | None = None,
+        faults: FaultInjection | None = None,
+        name: str = "Query",
+    ) -> QueryResult:
+        await self.pool_registry.drain()
+        mode = ExecutionMode.of(mode)
+        compiled = self._compiled(sql_text, mode, fanouts, adaptation, name)
+        effective_costs = process_costs or self.wsmed.process_costs
+        if on_error is not None:
+            effective_costs = _replace(effective_costs, on_error=on_error)
+        if faults is not None:
+            effective_costs = _replace(effective_costs, faults=faults)
+        ctx = ExecutionContext(
+            kernel=self.kernel,
+            broker=self.broker,
+            functions=self.wsmed.functions,
+            retries=retries,
+            call_recorder=CallRecorder(),
+            _name_counter=self._name_counter,
+        )
+        config = cache if cache is not None else self.wsmed.cache_config
+        leased_cache = self._lease_coordinator_cache(ctx, config)
+        executor = ParallelExecutor(
+            ctx, effective_costs, pool_registry=self.pool_registry
+        )
+        started = self.kernel.now()
+        try:
+            rows = await executor.execute(compiled.plan)
+        finally:
+            if leased_cache is not None:
+                self._coordinator_caches[config].append(leased_cache)
+        elapsed = self.kernel.now() - started
+        self._queries += 1
+        recorder = ctx.call_recorder
+        return QueryResult(
+            columns=compiled.plan.schema,
+            rows=rows,
+            elapsed=elapsed,
+            mode=mode.value,
+            total_calls=recorder.total_calls(),
+            call_stats=recorder.all_stats(),
+            trace=ctx.trace,
+            tree=tree_stats_from_trace(ctx.trace),
+            plan_text=render_plan(compiled.plan),
+            cache_stats=(
+                aggregate_stats(ctx.cache_registry) if ctx.cache_registry else None
+            ),
+            message_stats=message_stats_from_trace(ctx.trace),
+            fault_stats=fault_stats_from_trace(ctx.trace),
+        )
+
+    def _compiled(
+        self,
+        sql_text: str,
+        mode: ExecutionMode,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+    ) -> CompiledPlan:
+        if mode is ExecutionMode.ADAPTIVE:
+            # Normalize before fingerprinting: None and the default
+            # params compile to the same plan and must share an entry.
+            adaptation = adaptation or AdaptationParams()
+        key = PlanCache.fingerprint(sql_text, mode, fanouts, adaptation, name)
+        compiled = self.plan_cache.get(key)
+        if compiled is None:
+            plan = self.wsmed.plan(
+                sql_text,
+                mode=mode,
+                fanouts=fanouts,
+                adaptation=adaptation,
+                name=name,
+            )
+            compiled = CompiledPlan(plan=plan, dependencies=plan_dependencies(plan))
+            self.plan_cache.put(key, compiled)
+        return compiled
+
+    def _lease_coordinator_cache(
+        self, ctx: ExecutionContext, config: CacheConfig | None
+    ) -> CallCache | None:
+        """Attach a warm (or fresh) coordinator cache to a query's context.
+
+        Pooled per config so concurrent queries never share one cache
+        object — sharing would let one query reset another's counters.
+        """
+        if config is None or not config.enabled:
+            return None
+        bucket = self._coordinator_caches.setdefault(config, [])
+        if bucket:
+            cache = bucket.pop()
+            cache.stats = CacheStats()
+        else:
+            cache = CallCache(self.kernel, config, name=ctx.process_name)
+        ctx.cache = cache
+        ctx.cache_registry.append(cache)
+        return cache
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        plan_stats = self.plan_cache.stats
+        pool_stats = self.pool_registry.stats
+        return EngineStats(
+            queries=self._queries,
+            active=self._active,
+            peak_concurrency=self._peak_active,
+            max_concurrency=self.max_concurrency,
+            plan_cache_hits=plan_stats.hits,
+            plan_cache_misses=plan_stats.misses,
+            plan_cache_evictions=plan_stats.evictions,
+            plan_cache_invalidations=plan_stats.invalidations,
+            plan_cache_entries=len(self.plan_cache),
+            warm_leases=pool_stats.warm_leases,
+            cold_starts=pool_stats.cold_starts,
+            pools_condemned=pool_stats.condemned,
+            pools_trimmed=pool_stats.trimmed,
+            pools_closed=pool_stats.closed,
+            idle_pools=self.pool_registry.idle_pools(),
+            resident_processes=self.pool_registry.resident_processes(),
+        )
+
+    # -- shutdown ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every warm pool, then the resident kernel.
+
+        Idempotent.  ``run_until_completion`` semantics mean no query is
+        in flight when this can run, so "draining" is simply closing the
+        idle trees; their ``process_exit`` trace events land in the
+        trace of the last query each tree served, exactly where the
+        seed's per-query teardown would have put them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.kernel.run(self.pool_registry.close_all())
+        self.kernel.shutdown()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

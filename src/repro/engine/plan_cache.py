@@ -1,0 +1,146 @@
+"""Compiled-plan cache for the resident query engine.
+
+Compiling a query (parse -> calculus -> central plan -> parallelize) is
+pure CPU work that depends only on ``(sql_text, mode, fanouts,
+adaptation, name)`` and on the function definitions the plan applies.
+The cache memoizes the compiled plan under a stable fingerprint of the
+former and tracks the latter as a *dependency set*, so replacing a
+definition (``import_wsdl`` re-import, ``register_helping_function``)
+evicts exactly the plans that would now be stale.
+
+Reusing the compiled plan object is also what makes warm child-pool
+reuse sound: pool fingerprints (see :mod:`repro.engine.pools`) include
+the plan function's serialized form with its stable ``node_id``s, and
+only a cached plan reproduces those — a recompiled plan gets fresh
+node ids and therefore cold-starts its pools.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.algebra.plan import (
+    AdaptationParams,
+    AFFApplyNode,
+    ApplyNode,
+    FFApplyNode,
+    PlanNode,
+    walk,
+)
+from repro.util.errors import PlanError
+
+
+def plan_dependencies(plan: PlanNode) -> frozenset[str]:
+    """Lower-cased names of every function the plan applies.
+
+    Recurses into the bodies of shipped plan functions — ``walk`` alone
+    stops at the FF/AFF node, but a re-imported OWF used three levels
+    down still invalidates the whole plan.
+    """
+    names: set[str] = set()
+    stack: list[PlanNode] = [plan]
+    while stack:
+        for node in walk(stack.pop()):
+            if isinstance(node, ApplyNode):
+                names.add(node.function.lower())
+            if isinstance(node, (FFApplyNode, AFFApplyNode)):
+                stack.append(node.plan_function.body)
+    return frozenset(names)
+
+
+@dataclass
+class CompiledPlan:
+    """A cached compilation result plus its function dependencies."""
+
+    plan: PlanNode
+    dependencies: frozenset[str]
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0  # entries dropped by the LRU bound
+    invalidations: int = 0  # entries evicted because a dependency changed
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledPlan` keyed by query fingerprint."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise PlanError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+
+    @staticmethod
+    def fingerprint(
+        sql_text: str,
+        mode,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+    ) -> tuple:
+        """Stable cache key for one compilation request.
+
+        SQL text is whitespace-normalized (query text pasted with
+        different indentation is the same query); everything else is
+        taken structurally.  :class:`AdaptationParams` is frozen, hence
+        hashable.
+        """
+        mode_value = mode.value if hasattr(mode, "value") else str(mode)
+        return (
+            " ".join(sql_text.split()),
+            mode_value,
+            tuple(fanouts) if fanouts is not None else None,
+            adaptation,
+            name,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> CompiledPlan | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, compiled: CompiledPlan) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, function_name: str) -> int:
+        """Evict every cached plan that applies ``function_name``.
+
+        Called when a definition is replaced; returns the eviction count.
+        """
+        wanted = function_name.lower()
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if wanted in entry.dependencies
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

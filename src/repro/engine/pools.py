@@ -1,0 +1,204 @@
+"""Warm child-pool registry: process trees that outlive their query.
+
+Spawning a child query process costs ``startup + ship_function +
+install`` model seconds *per child, serially at the parent* — for a
+Query1 tree of 25 processes that dwarfs the web-service calls a warm
+cache avoids.  The registry keeps coordinator-level :class:`ChildPool`s
+alive after their query completes, keyed by a *pool fingerprint*, and
+leases them to later queries: a warm query ships zero plan functions
+and spawns zero processes.
+
+The fingerprint covers everything that must match for reuse to be
+transparent:
+
+* the serialized plan function (including the stable ``node_id`` of
+  every nested operator — so a warm lease only ever happens for the
+  *same compiled plan object*, i.e. after a plan-cache hit; a replaced
+  definition recompiles, gets fresh node ids, and cold-starts),
+* the operator shape (FF fanout / AFF adaptation parameters),
+* the process cost model and the cache configuration the tree's child
+  caches were built with.
+
+Explicit invalidation complements the fingerprint: when a function
+definition is replaced, :meth:`PoolRegistry.condemn` moves every idle
+pool that depends on it to a doomed list, closed on the next
+:meth:`drain` (shutdown is asynchronous; replacement happens in
+synchronous registration code).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.plan import FFApplyNode, PlanNode
+from repro.cache import CacheConfig, stable_hash
+from repro.engine.plan_cache import plan_dependencies
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.ff_applyp import ChildPool
+
+
+def pool_fingerprint(
+    node: PlanNode, costs: ProcessCosts, cache_config: CacheConfig | None
+) -> int:
+    """Stable identity of the child-process tree one operator would build."""
+    if isinstance(node, FFApplyNode):
+        shape = ("ff", node.fanout)
+    else:
+        shape = ("aff", tuple(sorted(node.params.to_dict().items())))
+    return stable_hash(
+        (
+            shape,
+            json.dumps(node.plan_function.to_dict(), sort_keys=True),
+            repr(costs),
+            repr(cache_config),
+        )
+    )
+
+
+@dataclass
+class PoolRegistryStats:
+    cold_starts: int = 0  # pools built because no warm one matched
+    warm_leases: int = 0  # queries served from a resident tree
+    released: int = 0  # pools handed back after a query
+    condemned: int = 0  # idle pools invalidated by a replaced definition
+    trimmed: int = 0  # idle pools dropped by the LRU bound
+    closed: int = 0  # pools actually shut down
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "cold_starts": self.cold_starts,
+            "warm_leases": self.warm_leases,
+            "released": self.released,
+            "condemned": self.condemned,
+            "trimmed": self.trimmed,
+            "closed": self.closed,
+        }
+
+
+class PoolRegistry:
+    """Free lists of idle warm pools, with LRU bounds and invalidation.
+
+    A leased pool is exclusively owned by its query until released, so
+    concurrent queries with the same fingerprint each get their own tree
+    (the second lease finds the free list empty and cold-starts).
+    """
+
+    def __init__(self, max_idle: int = 32) -> None:
+        self.max_idle = max_idle
+        self.stats = PoolRegistryStats()
+        # fingerprint -> stack of idle pools; OrderedDict gives LRU order
+        # across fingerprints for the trim policy.
+        self._free: "OrderedDict[int, list[ChildPool]]" = OrderedDict()
+        self._idle = 0
+        # Pools awaiting asynchronous shutdown (condemned or trimmed).
+        self._doomed: list[ChildPool] = []
+
+    # -- executor protocol -------------------------------------------------------
+
+    def lease(
+        self, node: PlanNode, costs: ProcessCosts, ctx: ExecutionContext
+    ) -> ChildPool | None:
+        """A warm pool matching ``node`` under ``ctx``, or None."""
+        cache_config = ctx.cache.config if ctx.cache is not None else None
+        key = pool_fingerprint(node, costs, cache_config)
+        bucket = self._free.get(key)
+        if not bucket:
+            return None
+        pool = bucket.pop()
+        if not bucket:
+            del self._free[key]
+        self._idle -= 1
+        pool.rebind(ctx)
+        self.stats.warm_leases += 1
+        return pool
+
+    def register(self, node: PlanNode, costs: ProcessCosts, pool: ChildPool) -> None:
+        """Stamp a freshly built pool so it can be released later."""
+        cache_config = pool.ctx.cache.config if pool.ctx.cache is not None else None
+        pool.registry_key = pool_fingerprint(node, costs, cache_config)
+        pool.registry_deps = plan_dependencies(node.plan_function.body)
+        self.stats.cold_starts += 1
+
+    def release(self, pool: ChildPool) -> None:
+        """Hand a pool back after its query; it becomes leasable again."""
+        pool.harvest_messages()
+        key = getattr(pool, "registry_key", None)
+        if key is None or pool._closed:
+            return
+        self.stats.released += 1
+        self._free.setdefault(key, []).append(pool)
+        self._free.move_to_end(key)
+        self._idle += 1
+        while self._idle > self.max_idle:
+            old_key = next(iter(self._free))
+            bucket = self._free[old_key]
+            self._doomed.append(bucket.pop(0))
+            if not bucket:
+                del self._free[old_key]
+            self._idle -= 1
+            self.stats.trimmed += 1
+
+    # -- invalidation ------------------------------------------------------------
+
+    def condemn(self, function_name: str) -> int:
+        """Doom every idle pool whose plan function applies ``function_name``.
+
+        Synchronous on purpose — it runs from ``import_wsdl`` /
+        ``register_helping_function``, outside the kernel; the doomed
+        pools are actually shut down by the next :meth:`drain`.
+        """
+        wanted = function_name.lower()
+        count = 0
+        for key in list(self._free):
+            bucket = self._free[key]
+            kept = []
+            for pool in bucket:
+                if wanted in getattr(pool, "registry_deps", frozenset()):
+                    self._doomed.append(pool)
+                    self._idle -= 1
+                    self.stats.condemned += 1
+                    count += 1
+                else:
+                    kept.append(pool)
+            if kept:
+                self._free[key] = kept
+            else:
+                del self._free[key]
+        return count
+
+    # -- shutdown ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Shut down doomed pools (called at query start and at close)."""
+        while self._doomed:
+            pool = self._doomed.pop()
+            await pool.close()
+            self.stats.closed += 1
+
+    async def close_all(self) -> None:
+        """Shut down every idle pool; the registry stays usable but cold."""
+        for bucket in self._free.values():
+            self._doomed.extend(bucket)
+        self._free.clear()
+        self._idle = 0
+        await self.drain()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def idle_pools(self) -> int:
+        return self._idle
+
+    def resident_processes(self) -> int:
+        """Live child processes currently parked in idle pools."""
+        total = 0
+        stack = [pool for bucket in self._free.values() for pool in bucket]
+        while stack:
+            pool = stack.pop()
+            for child in pool.children:
+                total += 1
+                if child.ctx is not None:
+                    stack.extend(child.ctx.pools.values())
+        return total

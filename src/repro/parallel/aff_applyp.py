@@ -67,6 +67,20 @@ class AFFPool(ChildPool):
             children=len(self.children),
         )
 
+    def on_rebind(self) -> None:
+        """Restart the monitoring clock for the adopting query.
+
+        The adapted tree itself is the asset being reused, so adaptation
+        state (``_adapting``, fanout) carries over; but cycle accounting
+        must not straddle queries — a cycle clock left at the previous
+        query's end would make the first warm cycle look arbitrarily slow.
+        """
+        self._cycle_started_at = self.ctx.kernel.now()
+        self._eoc_in_cycle = 0
+        self._results_in_cycle = 0
+        self._service_in_cycle = 0.0
+        self._failed_in_cycle = 0
+
     def on_result(self, message: ResultTuple) -> None:
         self._results_in_cycle += 1
 

@@ -95,6 +95,17 @@ class MessageCounters:
             "flushes": dict(self.flushes),
         }
 
+    def reset(self) -> None:
+        """Zero every counter (a resident pool starts each query at 0)."""
+        self.param_tuples = 0
+        self.param_batches = 0
+        self.batched_params = 0
+        self.result_tuples = 0
+        self.result_batches = 0
+        self.batched_results = 0
+        self.end_of_calls = 0
+        self.flushes.clear()
+
     def merge(self, other: "MessageCounters") -> None:
         self.param_tuples += other.param_tuples
         self.param_batches += other.param_batches

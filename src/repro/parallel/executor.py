@@ -21,11 +21,27 @@ from repro.util.errors import PlanError
 
 
 class ParallelExecutor:
-    """Runs (possibly parallel) plans under one execution context."""
+    """Runs (possibly parallel) plans under one execution context.
 
-    def __init__(self, ctx: ExecutionContext, costs: ProcessCosts | None = None) -> None:
+    With a ``pool_registry`` (the resident engine's
+    :class:`~repro.engine.pools.PoolRegistry`), coordinator-level pools
+    are leased from / released to the registry instead of being built and
+    torn down per query, so a warm query reuses the previous query's
+    child-process trees.  Without one (the seed path) behaviour is
+    unchanged: pools are created on first use and closed in ``execute``'s
+    ``finally``.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        costs: ProcessCosts | None = None,
+        *,
+        pool_registry=None,
+    ) -> None:
         self.ctx = ctx
         self.costs = costs or ProcessCosts()
+        self.pool_registry = pool_registry
         ctx.parallel_handler = self._handle
 
     def _pool_for(self, node: PlanNode, ctx: ExecutionContext) -> ChildPool:
@@ -37,10 +53,19 @@ class ParallelExecutor:
         pool = ctx.pools.get(node.node_id)
         if pool is not None:
             return pool
-        if isinstance(node, FFApplyNode):
-            pool = FFPool(ctx, node.plan_function, self.costs, node.fanout)
-        else:
-            pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
+        # Only coordinator-level pools go through the registry: pools
+        # inside child processes belong to that child's (resident)
+        # subtree and already survive with it.
+        registry = self.pool_registry if ctx is self.ctx else None
+        if registry is not None:
+            pool = registry.lease(node, self.costs, ctx)
+        if pool is None:
+            if isinstance(node, FFApplyNode):
+                pool = FFPool(ctx, node.plan_function, self.costs, node.fanout)
+            else:
+                pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
+            if registry is not None:
+                registry.register(node, self.costs, pool)
         ctx.pools[node.node_id] = pool
         return pool
 
@@ -64,5 +89,13 @@ class ParallelExecutor:
                 rows.append(row)
         finally:
             for pool in list(self.ctx.pools.values()):
-                await pool.close()
+                if self.pool_registry is not None and not pool._closed:
+                    # Resident mode: hand the warm tree back instead of
+                    # killing it.  The epoch machinery makes releasing
+                    # after a failed invocation safe — the next lease's
+                    # run() resets per-invocation state and drops stale
+                    # messages.
+                    self.pool_registry.release(pool)
+                else:
+                    await pool.close()
         return rows

@@ -42,7 +42,7 @@ from typing import AsyncIterator
 
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import PlanFunction
-from repro.cache import stable_hash
+from repro.cache import CacheStats, stable_hash
 from repro.parallel.batching import BatchController
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.messages import (
@@ -78,6 +78,10 @@ class _Child:
     # row.  Source of truth for redelivery after a failure or death, and
     # for telling current messages from stale ones.
     inflight: dict[int, tuple] = field(default_factory=dict)
+    # The derived context the child process runs under.  ``child_main``
+    # holds the same object, so mutating its fields (trace, recorder)
+    # re-homes a warm child into a new query — see :meth:`ChildPool.rebind`.
+    ctx: ExecutionContext | None = None
 
 
 class ChildPool:
@@ -148,7 +152,12 @@ class ChildPool:
                 child_main(child_ctx, self.costs, endpoints, on_exit=close_nested),
                 name=name,
             )
-            child = _Child(endpoints=endpoints, handle=handle, added_by_adaptation=adaptive)
+            child = _Child(
+                endpoints=endpoints,
+                handle=handle,
+                added_by_adaptation=adaptive,
+                ctx=child_ctx,
+            )
             self.children.append(child)
             self._by_name[name] = child
             self.total_spawned += 1
@@ -633,10 +642,71 @@ class ChildPool:
         for child in self.children:
             child.endpoints.downlink.send(ReadyToReceive())
 
+    # -- warm reuse across queries -------------------------------------------------
+
+    def rebind(self, ctx: ExecutionContext) -> None:
+        """Re-home this warm pool (and its subtree) into a new query.
+
+        A pool leased from the engine's registry still holds the child
+        processes of the query that built it.  ``child_main`` keeps a
+        reference to the *same* context object the pool derived at spawn
+        time, so pointing that object's per-query fields (trace, call
+        recorder, cache registry, retry policy) at the new query's values
+        is all it takes for the children's future work to be attributed
+        to the new query.  Warm child caches keep their entries — that is
+        the point of reuse — but get fresh counters so hit rates are
+        per-query.
+        """
+        self.ctx = ctx
+        for child in self.children:
+            self._rebind_child(child)
+        self.on_rebind()
+
+    def _rebind_child(self, child: _Child) -> None:
+        child_ctx = child.ctx
+        if child_ctx is None:  # pool predates warm reuse; nothing to re-home
+            return
+        child_ctx.trace = self.ctx.trace
+        child_ctx.call_recorder = self.ctx.call_recorder
+        child_ctx.retries = self.ctx.retries
+        child_ctx.retry_backoff = self.ctx.retry_backoff
+        child_ctx.cache_registry = self.ctx.cache_registry
+        child_ctx._name_counter = self.ctx._name_counter
+        if child_ctx.cache is not None:
+            child_ctx.cache.stats = CacheStats()
+            self.ctx.cache_registry.append(child_ctx.cache)
+        for pool in child_ctx.pools.values():
+            pool.rebind(child_ctx)
+
+    def harvest_messages(self) -> None:
+        """Record and zero the subtree's message counters for this query.
+
+        A one-query pool reports its counters once, at :meth:`close`; a
+        resident pool instead reports at release time so each query's
+        ``pool_messages`` trace events carry only that query's traffic.
+        """
+        if self.batcher.counters.any():
+            self.ctx.trace.record(
+                self.ctx.kernel.now(),
+                "pool_messages",
+                process=self.ctx.process_name,
+                plan_function=self.plan_function.name,
+                **self.batcher.counters.as_dict(),
+            )
+            self.batcher.counters.reset()
+        for child in self.children:
+            if child.ctx is None:
+                continue
+            for pool in child.ctx.pools.values():
+                pool.harvest_messages()
+
     # -- hooks overridden by the adaptive pool -----------------------------------------
 
     async def on_first_use(self) -> None:
         raise PlanError("ChildPool.on_first_use must be provided by a subclass")
+
+    def on_rebind(self) -> None:
+        """Per-pool reset when leased into a new query; FF needs none."""
 
     def on_result(self, message: ResultTuple) -> None:
         """Monitoring hook; the plain FF pool does nothing here."""

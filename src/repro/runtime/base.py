@@ -118,6 +118,15 @@ class Kernel(ABC):
         synchronous code.
         """
 
+    def shutdown(self) -> None:
+        """Release resources held by a *resident* kernel.
+
+        One-shot kernels tear everything down at the end of each ``run``
+        call, so the default is a no-op.  Resident kernels (constructed
+        with ``resident=True``) keep parked tasks — e.g. warm child
+        processes — alive between ``run`` calls and only reap them here.
+        """
+
     async def gather(self, *coros: Coroutine[Any, Any, Any]) -> list[Any]:
         """Run coroutines concurrently and return their results in order."""
         handles = [self.spawn(coro, name=f"gather-{index}") for index, coro in enumerate(coros)]

@@ -98,17 +98,23 @@ class _AsyncHandle(base.ProcessHandle):
 class AsyncioKernel(base.Kernel):
     """Kernel whose clock is the wall clock, scaled by ``time_scale``."""
 
-    def __init__(self, *, time_scale: float = 0.001) -> None:
+    def __init__(self, *, time_scale: float = 0.001, resident: bool = False) -> None:
         if time_scale <= 0:
             raise KernelError(f"time_scale must be positive, got {time_scale}")
         self.time_scale = time_scale
         self._start: float | None = None
         self._spawned = 0
+        # A resident kernel keeps one event loop alive across ``run``
+        # calls so tasks parked on queues (warm child processes) survive
+        # between queries; ``shutdown`` cancels them and closes the loop.
+        self.resident = resident
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     def now(self) -> float:
         if self._start is None:
             return 0.0
-        return (asyncio.get_running_loop().time() - self._start) / self.time_scale
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        return (loop.time() - self._start) / self.time_scale
 
     async def _scaled_sleep(self, duration: float) -> None:
         await asyncio.sleep(duration * self.time_scale)
@@ -134,8 +140,27 @@ class AsyncioKernel(base.Kernel):
         return _AsyncHandle(task, task_name)
 
     def run(self, coro: Coroutine) -> Any:
-        async def main() -> Any:
-            self._start = asyncio.get_running_loop().time()
-            return await coro
+        if not self.resident:
+            async def main() -> Any:
+                self._start = asyncio.get_running_loop().time()
+                return await coro
 
-        return asyncio.run(main())
+            return asyncio.run(main())
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+            self._start = self._loop.time()
+        return self._loop.run_until_complete(coro)
+
+    def shutdown(self) -> None:
+        """Cancel tasks still parked on the resident loop and close it."""
+        if self._loop is None:
+            return
+        loop, self._loop = self._loop, None
+        pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        loop.close()

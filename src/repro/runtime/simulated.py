@@ -262,13 +262,17 @@ class SimKernel(base.Kernel):
     fast instead of hanging.
     """
 
-    def __init__(self, *, max_events: int = 50_000_000) -> None:
+    def __init__(self, *, max_events: int = 50_000_000, resident: bool = False) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._max_events = max_events
         self._tasks: list[SimTask] = []
         self._parked: dict[int, str] = {}  # id(task) -> what it waits on
+        # A resident kernel leaves parked tasks (warm child processes)
+        # alive when ``run`` returns, so later ``run`` calls can resume
+        # them; ``shutdown`` reaps whatever is still parked.
+        self.resident = resident
 
     # -- Kernel API ----------------------------------------------------------
 
@@ -318,8 +322,25 @@ class SimKernel(base.Kernel):
             )
             self._close_remaining()
             raise DeadlockError(f"no runnable tasks; parked: {waiting}")
-        self._close_remaining()
+        if self.resident:
+            self._prune_finished()
+        else:
+            self._close_remaining()
         return main.result()
+
+    def shutdown(self) -> None:
+        """Reap tasks a resident kernel kept parked between runs."""
+        self._close_remaining()
+        self._tasks.clear()
+        self._parked.clear()
+        self._heap.clear()
+
+    def _prune_finished(self) -> None:
+        """Forget finished tasks so a resident kernel's lists stay bounded."""
+        finished = {id(task) for task in self._tasks if task.done}
+        self._tasks = [task for task in self._tasks if not task.done]
+        for key in finished:
+            self._parked.pop(key, None)
 
     def _close_remaining(self) -> None:
         """Close coroutines of tasks abandoned when the main task ended."""

@@ -44,6 +44,32 @@ class CallStats:
     total_time: RunningStat = field(default_factory=RunningStat)
 
 
+class CallRecorder:
+    """Per-query view of broker statistics.
+
+    The broker's own ``_stats`` dict aggregates every call it has ever
+    served, which is the right scope for a broker bound to a single
+    query run but corrupts results once several queries share one broker
+    (the resident :class:`~repro.engine.QueryEngine`).  A recorder is a
+    second sink with the same read surface (``stats`` / ``total_calls``
+    / ``all_stats``): the broker mirrors each statistics write into the
+    recorder of the query that issued the call, so concurrent queries
+    see only their own traffic.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, CallStats] = {}
+
+    def stats(self, operation: str) -> CallStats:
+        return self._stats.setdefault(operation, CallStats())
+
+    def total_calls(self) -> int:
+        return sum(stat.calls for stat in self._stats.values())
+
+    def all_stats(self) -> dict[str, CallStats]:
+        return dict(self._stats)
+
+
 class _Endpoint:
     """One registered service host: provider + capacity + profiles."""
 
@@ -143,15 +169,32 @@ class ServiceBroker:
 
     # -- the call path -------------------------------------------------------------
 
+    def _sinks(
+        self, operation: str, recorder: CallRecorder | None
+    ) -> list[CallStats]:
+        """Statistics sinks for one call: broker-global plus per-query."""
+        sinks = [self.stats(operation)]
+        if recorder is not None:
+            sinks.append(recorder.stats(operation))
+        return sinks
+
     async def call(
-        self, uri: str, service: str, operation: str, arguments: list[Any]
+        self,
+        uri: str,
+        service: str,
+        operation: str,
+        arguments: list[Any],
+        *,
+        recorder: CallRecorder | None = None,
     ) -> Sequence:
         """Invoke a web-service operation; returns the decoded value model.
 
         This is the transport behind the ``cwo`` built-in of the paper's
         Fig 2 (line 14).  If the operation's profile declares a timeout,
         the whole call races a deadline and raises a retriable
-        :class:`ServiceFault` when it loses.
+        :class:`ServiceFault` when it loses.  When ``recorder`` is given,
+        every statistics write is mirrored into it so a multi-query
+        engine can attribute the call to the query that made it.
         """
         endpoint = self._endpoint(uri)
         document = endpoint.document
@@ -162,14 +205,17 @@ class ServiceBroker:
         wsdl_operation = document.operation(operation)
         profile = endpoint.profile_for(operation)
         if profile.timeout is None:
-            return await self._perform(endpoint, wsdl_operation, profile, arguments)
+            return await self._perform(
+                endpoint, wsdl_operation, profile, arguments, recorder
+            )
         try:
             return await self.kernel.wait_for(
-                self._perform(endpoint, wsdl_operation, profile, arguments),
+                self._perform(endpoint, wsdl_operation, profile, arguments, recorder),
                 profile.timeout,
             )
         except TimeoutError:
-            self.stats(operation).timeouts += 1
+            for sink in self._sinks(operation, recorder):
+                sink.timeouts += 1
             raise ServiceFault(
                 f"{service}.{operation} timed out after "
                 f"{profile.timeout} model seconds",
@@ -177,11 +223,16 @@ class ServiceBroker:
             ) from None
 
     async def _perform(
-        self, endpoint: _Endpoint, wsdl_operation, profile, arguments: list[Any]
+        self,
+        endpoint: _Endpoint,
+        wsdl_operation,
+        profile,
+        arguments: list[Any],
+        recorder: CallRecorder | None = None,
     ) -> Sequence:
         operation = wsdl_operation.name
         service = endpoint.document.service_name
-        stats = self.stats(operation)
+        sinks = self._sinks(operation, recorder)
         kernel = self.kernel
         started = kernel.now()
 
@@ -198,10 +249,13 @@ class ServiceBroker:
         try:
             await endpoint.slots.acquire()
             acquired = True
-            stats.queue_wait.add(kernel.now() - queue_entered)
+            queue_wait = kernel.now() - queue_entered
+            for sink in sinks:
+                sink.queue_wait.add(queue_wait)
             if self.fault_rate and self._rng.random() < self.fault_rate:
                 await kernel.sleep(profile.service_time)
-                stats.faults += 1
+                for sink in sinks:
+                    sink.faults += 1
                 raise ServiceFault(
                     f"{service}.{operation} failed transiently", retriable=True
                 )
@@ -220,7 +274,8 @@ class ServiceBroker:
                 rows, self._rng.uniform(-1.0, 1.0), overload
             )
             await kernel.sleep(server_time)
-            stats.server_time.add(server_time)
+            for sink in sinks:
+                sink.server_time.add(server_time)
         finally:
             endpoint.concurrent -= 1
             if acquired:
@@ -229,8 +284,10 @@ class ServiceBroker:
         response_text = soap.encode_response(wsdl_operation, payload)
         await kernel.sleep(profile.rtt / 2.0)
 
-        stats.calls += 1
-        stats.rows += rows
-        stats.bytes_transferred += len(request_text) + len(response_text)
-        stats.total_time.add(kernel.now() - started)
+        total_time = kernel.now() - started
+        for sink in sinks:
+            sink.calls += 1
+            sink.rows += rows
+            sink.bytes_transferred += len(request_text) + len(response_text)
+            sink.total_time.add(total_time)
         return soap.decode_response(wsdl_operation, response_text)

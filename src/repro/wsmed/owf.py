@@ -176,6 +176,7 @@ class OperationWrapper:
                 self.document.service_name,
                 self.name,
                 coerced,
+                recorder=ctx.call_recorder,
             )
             outcome = MISS
         else:
@@ -191,6 +192,7 @@ class OperationWrapper:
                     self.document.service_name,
                     self.name,
                     coerced,
+                    recorder=ctx.call_recorder,
                 ),
             )
         if outcome == MISS:

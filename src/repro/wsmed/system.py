@@ -99,6 +99,15 @@ class WSMED:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self._wrappers: dict[str, object] = {}
+        # Notified with the (lower-cased) function name whenever a
+        # definition is replaced — the resident engine subscribes to
+        # invalidate cached plans and condemn warm pools.  Must exist
+        # before the constructor registers the built-in views below.
+        self._replace_listeners: list = []
+        # Lazily computed by _profile_call_costs(); the registry's cost
+        # profiles are fixed at construction, so one computation serves
+        # every explain().
+        self._call_costs: dict[str, float] | None = None
         # The paper's helping function (Sec. II.B) ships with the system.
         self.register_helping_function(
             helping_function(
@@ -183,6 +192,7 @@ class WSMED:
             wrapper = generate_owf(document, operation_name)
             function = wrapper.as_function()
             self.functions.replace(function)
+            self._notify_replace(function.name)
             self._wrappers[function.name.lower()] = wrapper
             self.catalog.record_operation(
                 uri,
@@ -204,6 +214,21 @@ class WSMED:
 
     def register_helping_function(self, function: FunctionDef) -> None:
         self.functions.replace(function)
+        self._notify_replace(function.name)
+
+    def add_replace_listener(self, listener) -> None:
+        """Subscribe to definition replacements.
+
+        ``listener(name)`` fires after a function named ``name`` (lower
+        case) is replaced by :meth:`import_wsdl` or
+        :meth:`register_helping_function` — plans and process trees
+        compiled against the old definition are stale from that point.
+        """
+        self._replace_listeners.append(listener)
+
+    def _notify_replace(self, name: str) -> None:
+        for listener in self._replace_listeners:
+            listener(name.lower())
 
     # -- introspection -------------------------------------------------------------
 
@@ -222,6 +247,35 @@ class WSMED:
 
     # -- planning ---------------------------------------------------------------------
 
+    def _compile(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+    ):
+        """One compilation pass: returns ``(calculus, plan)``.
+
+        Shared by :meth:`plan` and :meth:`explain` so explain does not
+        parse and generate the calculus twice.
+        """
+        mode = ExecutionMode.of(mode)
+        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
+        central = create_central_plan(calculus, self.functions)
+        if mode is ExecutionMode.CENTRAL:
+            return calculus, central
+        if mode is ExecutionMode.PARALLEL:
+            if fanouts is None:
+                raise PlanError("parallel mode requires a fanout vector")
+            return calculus, parallelize(central, self.functions, fanouts=fanouts)
+        return calculus, parallelize(
+            central,
+            self.functions,
+            adaptation=adaptation or AdaptationParams(),
+        )
+
     def plan(
         self,
         sql_text: str,
@@ -232,20 +286,10 @@ class WSMED:
         name: str = "Query",
     ) -> PlanNode:
         """Compile SQL down to an executable plan for the given mode."""
-        mode = ExecutionMode.of(mode)
-        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
-        central = create_central_plan(calculus, self.functions)
-        if mode is ExecutionMode.CENTRAL:
-            return central
-        if mode is ExecutionMode.PARALLEL:
-            if fanouts is None:
-                raise PlanError("parallel mode requires a fanout vector")
-            return parallelize(central, self.functions, fanouts=fanouts)
-        return parallelize(
-            central,
-            self.functions,
-            adaptation=adaptation or AdaptationParams(),
+        _, plan = self._compile(
+            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
         )
+        return plan
 
     def explain(
         self,
@@ -257,8 +301,7 @@ class WSMED:
         name: str = "Query",
     ) -> str:
         """Calculus, plan tree and cost estimate as a report."""
-        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
-        plan = self.plan(
+        calculus, plan = self._compile(
             sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
         )
         model = CostModel(call_costs=self._profile_call_costs())
@@ -278,11 +321,13 @@ class WSMED:
         return "\n".join(sections)
 
     def _profile_call_costs(self) -> dict[str, float]:
-        costs = {}
-        for service_costs in self.registry.costs.values():
-            for operation, profile in service_costs.operations.items():
-                costs[operation] = profile.sequential_call_time()
-        return costs
+        if self._call_costs is None:
+            costs = {}
+            for service_costs in self.registry.costs.values():
+                for operation, profile in service_costs.operations.items():
+                    costs[operation] = profile.sequential_call_time()
+            self._call_costs = costs
+        return self._call_costs
 
     # -- execution -----------------------------------------------------------------------
 
