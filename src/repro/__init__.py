@@ -26,6 +26,15 @@ The package layers (see DESIGN.md for the full inventory):
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
 from repro.engine import EngineStats, QueryEngine
+from repro.obs import (
+    CriticalPathReport,
+    MetricsRegistry,
+    SpanStore,
+    TraceRecorder,
+    analyze_critical_path,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.faults import FaultInjection, FaultStats
 from repro.parallel.tree import FanoutVector
@@ -76,6 +85,13 @@ __all__ = [
     "QueryResult",
     "QueryEngine",
     "EngineStats",
+    "TraceRecorder",
+    "SpanStore",
+    "MetricsRegistry",
+    "CriticalPathReport",
+    "analyze_critical_path",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "WSMED",
     "ExecutionMode",
     "QUERY1_SQL",

@@ -33,6 +33,7 @@ from repro.algebra.plan import (
     SortNode,
 )
 from repro.fdb.functions import FunctionKind, FunctionRegistry
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.runtime.base import Kernel
 from repro.services.broker import CallRecorder, ServiceBroker
 from repro.util.errors import PlanError
@@ -88,6 +89,13 @@ class ExecutionContext:
     call_recorder: Optional[CallRecorder] = None
     # Shared mutable counter for unique process names across the query.
     _name_counter: list = field(default_factory=lambda: [0])
+    # Span recorder (repro.obs).  NULL_RECORDER is a shared no-op whose
+    # `enabled` flag gates every instrumentation site, keeping the traced-off
+    # execution fingerprint identical to the seed.  `obs_span` is the id of
+    # the span enclosing whatever this context is currently executing (the
+    # query root on the coordinator, the per-call span inside a child).
+    obs: NullRecorder = NULL_RECORDER
+    obs_span: int = -1
 
     def next_process_name(self) -> str:
         self._name_counter[0] += 1

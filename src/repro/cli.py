@@ -14,7 +14,10 @@ Interactive::
 
 Meta commands: ``\\views``, ``\\owf NAME``, ``\\mode``, ``\\fanouts``,
 ``\\profile``, ``\\explain SQL;``, ``\\tree``, ``\\summary``, ``\\rows N``,
-``\\batch``, ``\\faults``, ``\\help``, ``\\quit``.
+``\\stats [SECTION]``, ``\\help``, ``\\quit``.  Statistics live under one
+``\\stats`` command (sections: calls, tree, cache, batch, faults,
+critical_path, engine); the former ``\\cache``/``\\batch``/``\\faults``/
+``\\engine`` still work, both as report aliases and as toggles.
 """
 
 from __future__ import annotations
@@ -27,9 +30,10 @@ from typing import IO
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig
 from repro.engine import QueryEngine
+from repro.obs import TraceRecorder
 from repro.parallel.faults import FaultInjection
 from repro.util.errors import ReproError
-from repro.wsmed.results import QueryResult
+from repro.wsmed.results import REPORT_SECTIONS, QueryResult
 from repro.wsmed.system import WSMED
 
 
@@ -77,6 +81,7 @@ class Shell:
         cache: CacheConfig | None = None,
         on_error: str | None = None,
         engine: QueryEngine | None = None,
+        trace_out: str | None = None,
     ) -> None:
         self.wsmed = wsmed
         self.out = out
@@ -99,6 +104,9 @@ class Shell:
         # optional fault injection for demonstrating it.
         self.on_error = on_error
         self.fault_injection: FaultInjection | None = None
+        # When set, every query runs traced and its span tree is written
+        # to this path as a Chrome trace-event file (open in Perfetto).
+        self.trace_out = trace_out
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -119,6 +127,8 @@ class Shell:
             kwargs["on_error"] = self.on_error
         if self.fault_injection is not None:
             kwargs["faults"] = self.fault_injection
+        if self.trace_out is not None:
+            kwargs["obs"] = TraceRecorder()
         runner = self.engine.sql if self.engine is not None else self.wsmed.sql
         result = runner(
             sql,
@@ -129,6 +139,9 @@ class Shell:
         )
         self.last_result = result
         self.write(format_table(result, self.max_rows))
+        if self.trace_out is not None:
+            result.write_trace(self.trace_out)
+            self.write(f"trace written to {self.trace_out}")
 
     def explain(self, sql: str) -> None:
         kwargs = {}
@@ -164,6 +177,8 @@ class Shell:
         elif command == "retries":
             self.retries = int(argument)
             self.write(f"retries = {self.retries}")
+        elif command == "stats":
+            self._stats_command(argument)
         elif command == "cache":
             self._cache_command(argument)
         elif command == "batch":
@@ -171,13 +186,7 @@ class Shell:
         elif command == "faults":
             self._faults_command(argument)
         elif command == "engine":
-            if self.engine is None:
-                self.write(
-                    "resident engine: off (start with --engine to keep "
-                    "plans and process trees warm between queries)"
-                )
-            else:
-                self.write(self.engine.stats().report())
+            self._engine_report()
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -205,6 +214,42 @@ class Shell:
             raise ReproError(f"unknown command \\{command}; try \\help")
         return True
 
+    def _engine_report(self) -> None:
+        if self.engine is None:
+            self.write(
+                "resident engine: off (start with --engine to keep "
+                "plans and process trees warm between queries)"
+            )
+        else:
+            self.write(self.engine.stats().report())
+
+    def _stats_command(self, argument: str) -> None:
+        """``\\stats [SECTION]``: the unified statistics report.
+
+        Sections are those of :meth:`QueryResult.report` plus ``engine``
+        (the resident engine's own counters).  No argument shows every
+        section of the last execution.
+        """
+        section = argument.strip().lower()
+        if section == "engine":
+            self._engine_report()
+            return
+        if section and section not in REPORT_SECTIONS:
+            known = ", ".join(REPORT_SECTIONS + ("engine",))
+            raise ReproError(
+                f"unknown stats section {section!r}; known sections: {known}"
+            )
+        if self.last_result is None:
+            raise ReproError("no query has been executed yet")
+        if section == "critical_path" and self.last_result.spans is None:
+            raise ReproError(
+                "the last query was not traced; rerun with --trace-out FILE "
+                "to record spans"
+            )
+        self.write(
+            self.last_result.report(sections=section if section else None)
+        )
+
     def _cache_command(self, argument: str) -> None:
         """``\\cache [on [TTL] | off]``: toggle memoization / show counters."""
         if argument:
@@ -222,7 +267,7 @@ class Shell:
                 raise ReproError(r"usage: \cache [on [TTL] | off]")
             return
         if self.last_result is not None and self.last_result.cache_stats is not None:
-            self.write(self.last_result.cache_report())
+            self.write(self.last_result.report(sections="cache"))
         else:
             state = "on" if self.cache_config else "off"
             self.write(f"call cache: {state} (no cached execution yet)")
@@ -257,7 +302,7 @@ class Shell:
                 self.write(f"batch size = {self.batch['batch_size']}")
             return
         if self.last_result is not None:
-            self.write(self.last_result.batch_report())
+            self.write(self.last_result.report(sections="batch"))
         elif self.batch:
             self.write(f"batching = {self.batch} (no execution yet)")
         else:
@@ -296,7 +341,7 @@ class Shell:
                 )
             return
         if self.last_result is not None:
-            self.write(self.last_result.fault_report())
+            self.write(self.last_result.report(sections="faults"))
         else:
             policy = self.on_error or "fail"
             injection = (
@@ -347,19 +392,22 @@ meta commands:
   \\mode M           central | parallel | adaptive
   \\fanouts 5,4      fanout vector for parallel mode
   \\retries N        retry retriable service faults N times per call
-  \\cache            show call-cache counters of the last execution
+  \\stats            all statistics sections of the last execution
+  \\stats SECTION    one section: calls | tree | cache | batch | faults
+                    | critical_path (traced runs) | engine
+  \\cache            alias for \\stats cache
   \\cache on [TTL]   memoize web-service calls (optional TTL, model s)
   \\cache off        disable the call cache
-  \\batch            show message/batch counters of the last execution
+  \\batch            alias for \\stats batch
   \\batch N          coalesce N parameter/result tuples per message
   \\batch adaptive   adapt the batch size per child at run time
   \\batch linger T   flush partial batches after T model seconds
   \\batch off        back to the per-tuple protocol
-  \\faults           fault report of the last execution
+  \\faults           alias for \\stats faults
   \\faults P         failure policy: fail | retry | skip
   \\faults inject F [C]  inject per-call failures (prob F) / crashes (C)
   \\faults off       seed behavior: policy fail, no injection
-  \\engine           resident-engine statistics (plan cache, warm pools)
+  \\engine           alias for \\stats engine
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -408,6 +456,17 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full statistics report after the query",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="trace the query and write a Chrome trace-event file "
+        "(open in Perfetto: https://ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -427,6 +486,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         cache=CacheConfig(enabled=True) if arguments.cache else None,
         on_error=arguments.on_error,
         engine=engine,
+        trace_out=arguments.trace_out,
     )
     if arguments.batch:
         if arguments.batch.strip().lower() == "adaptive":
@@ -454,6 +514,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
                     print(shell.last_result.process_tree(), file=out)
                 if arguments.summary:
                     print(shell.last_result.summary(), file=out)
+                if arguments.stats:
+                    print(shell.last_result.report(), file=out)
         except ReproError as error:
             print(f"error: {error}", file=out)
             return 1

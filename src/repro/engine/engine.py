@@ -43,6 +43,7 @@ from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats, CallCache, aggregate_stats
 from repro.engine.plan_cache import CompiledPlan, PlanCache, plan_dependencies
 from repro.engine.pools import PoolRegistry
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.parallel.batching import message_stats_from_trace
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
@@ -177,8 +178,11 @@ class QueryEngine:
 
         Accepts the planning/execution keywords of :meth:`WSMED.sql`
         (``mode``, ``fanouts``, ``adaptation``, ``retries``, ``cache``,
-        ``process_costs``, ``on_error``, ``faults``, ``name``) — but not
-        ``kernel`` or ``fault_rate``, which are engine-level here.
+        ``process_costs``, ``on_error``, ``faults``, ``name``, ``obs``) —
+        but not ``kernel`` or ``fault_rate``, which are engine-level
+        here.  With ``obs`` a :class:`repro.obs.TraceRecorder`, compile
+        spans appear only on plan-cache misses (a warm hit skips
+        compilation entirely).
         """
         return self.kernel.run(self._admitted(sql_text, **kwargs))
 
@@ -227,10 +231,14 @@ class QueryEngine:
         on_error: str | None = None,
         faults: FaultInjection | None = None,
         name: str = "Query",
+        obs: NullRecorder | None = None,
     ) -> QueryResult:
         await self.pool_registry.drain()
         mode = ExecutionMode.of(mode)
-        compiled = self._compiled(sql_text, mode, fanouts, adaptation, name)
+        recorder = obs if obs is not None else NULL_RECORDER
+        compiled = self._compiled(
+            sql_text, mode, fanouts, adaptation, name, obs=recorder
+        )
         effective_costs = process_costs or self.wsmed.process_costs
         if on_error is not None:
             effective_costs = _replace(effective_costs, on_error=on_error)
@@ -249,22 +257,48 @@ class QueryEngine:
         executor = ParallelExecutor(
             ctx, effective_costs, pool_registry=self.pool_registry
         )
+        query_span = -1
+        if recorder.enabled:
+            query_span = recorder.start(
+                f"query:{name}",
+                category="query",
+                process=ctx.process_name,
+                at=self.kernel.now(),
+                mode=mode.value,
+            )
+            ctx.obs = recorder
+            ctx.obs_span = query_span
+            # Concurrent traced queries are last-writer-wins on the
+            # kernel-level hook: task spans attach to whichever traced
+            # query spawned most recently.  Trace one query at a time for
+            # an unambiguous kernel timeline.
+            self.kernel.obs = recorder
         started = self.kernel.now()
         try:
             rows = await executor.execute(compiled.plan)
+        except BaseException:
+            if recorder.enabled:
+                if self.kernel.obs is recorder:
+                    self.kernel.obs = None
+                recorder.finish(query_span, at=self.kernel.now(), outcome="error")
+            raise
         finally:
             if leased_cache is not None:
                 self._coordinator_caches[config].append(leased_cache)
         elapsed = self.kernel.now() - started
+        if recorder.enabled:
+            if self.kernel.obs is recorder:
+                self.kernel.obs = None
+            recorder.finish(query_span, at=self.kernel.now(), rows=len(rows))
         self._queries += 1
-        recorder = ctx.call_recorder
+        call_recorder = ctx.call_recorder
         return QueryResult(
             columns=compiled.plan.schema,
             rows=rows,
             elapsed=elapsed,
             mode=mode.value,
-            total_calls=recorder.total_calls(),
-            call_stats=recorder.all_stats(),
+            total_calls=call_recorder.total_calls(),
+            call_stats=call_recorder.all_stats(),
             trace=ctx.trace,
             tree=tree_stats_from_trace(ctx.trace),
             plan_text=render_plan(compiled.plan),
@@ -273,6 +307,7 @@ class QueryEngine:
             ),
             message_stats=message_stats_from_trace(ctx.trace),
             fault_stats=fault_stats_from_trace(ctx.trace),
+            spans=recorder.store if recorder.enabled else None,
         )
 
     def _compiled(
@@ -282,6 +317,7 @@ class QueryEngine:
         fanouts: list[int] | None,
         adaptation: AdaptationParams | None,
         name: str,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> CompiledPlan:
         if mode is ExecutionMode.ADAPTIVE:
             # Normalize before fingerprinting: None and the default
@@ -296,6 +332,7 @@ class QueryEngine:
                 fanouts=fanouts,
                 adaptation=adaptation,
                 name=name,
+                obs=obs,
             )
             compiled = CompiledPlan(plan=plan, dependencies=plan_dependencies(plan))
             self.plan_cache.put(key, compiled)

@@ -1,0 +1,187 @@
+"""Span recorder: the core tracing primitive.
+
+A span is a named interval with a parent, a category and free-form
+attributes.  Spans from every process of a query-process tree land in one
+:class:`SpanStore`; cross-process edges (coordinator invocation -> child
+call) are ordinary parent links because the recorder is shared through the
+``ExecutionContext`` rather than serialized across a real network.
+
+Two clocks coexist.  Execution-side spans pass ``at=kernel.now()`` so their
+timestamps live on the kernel's (possibly virtual) clock; compile-phase
+spans omit ``at`` and fall back to a wall clock anchored at recorder
+creation.  The exporters keep the two groups in separate Chrome "processes"
+so mixed clocks never overlap visually.
+
+``NULL_RECORDER`` is the default everywhere.  Its ``enabled`` flag is
+``False`` and every method is a no-op returning ``-1``, so instrumentation
+costs a truthiness check per site and the seed execution fingerprint is
+bit-for-bit unchanged when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One traced interval (or instant) in a query's lifetime."""
+
+    id: int
+    name: str
+    category: str
+    process: str
+    start: float
+    parent: int = -1
+    end: float | None = None
+    instant: bool = False
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.instant or self.end is not None
+
+
+class SpanStore:
+    """Append-only collection of spans with parent/child indexing."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+
+    def add(self, span: Span) -> None:
+        self._spans.append(span)
+        self._by_id[span.id] = span
+
+    def get(self, span_id: int) -> Span | None:
+        return self._by_id.get(span_id)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent == -1 or s.parent not in self._by_id]
+
+    def children(self, span_id: int) -> list[Span]:
+        return [s for s in self._spans if s.parent == span_id]
+
+    def by_category(self, category: str) -> list[Span]:
+        return [s for s in self._spans if s.category == category]
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self._spans if s.name == name]
+
+
+class NullRecorder:
+    """Disabled recorder: every call is a no-op.
+
+    Instrumentation sites test ``recorder.enabled`` before doing any work
+    that allocates (building attr dicts, reading clocks), but calling the
+    methods directly is also safe.
+    """
+
+    enabled = False
+    store: SpanStore | None = None
+
+    def start(self, name: str, **kwargs: Any) -> int:
+        return -1
+
+    def finish(self, span_id: int, **kwargs: Any) -> None:
+        return None
+
+    def instant(self, name: str, **kwargs: Any) -> int:
+        return -1
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """Live recorder collecting spans into a :class:`SpanStore`.
+
+    ``at`` timestamps are caller-supplied (kernel clock); when omitted the
+    recorder falls back to wall time relative to its creation so that
+    compile-phase spans start near zero like the virtual clock does.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.store: SpanStore = SpanStore()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def start(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        parent: int = -1,
+        process: str = "",
+        at: float | None = None,
+        **attrs: Any,
+    ) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self.store.add(
+            Span(
+                id=span_id,
+                name=name,
+                category=category,
+                process=process,
+                parent=parent,
+                start=self._now() if at is None else at,
+                attrs=dict(attrs) if attrs else {},
+            )
+        )
+        return span_id
+
+    def finish(self, span_id: int, *, at: float | None = None, **attrs: Any) -> None:
+        span = self.store.get(span_id)
+        if span is None or span.end is not None:
+            return
+        span.end = self._now() if at is None else at
+        if attrs:
+            span.attrs.update(attrs)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        category: str = "event",
+        parent: int = -1,
+        process: str = "",
+        at: float | None = None,
+        **attrs: Any,
+    ) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        stamp = self._now() if at is None else at
+        self.store.add(
+            Span(
+                id=span_id,
+                name=name,
+                category=category,
+                process=process,
+                parent=parent,
+                start=stamp,
+                end=stamp,
+                instant=True,
+                attrs=dict(attrs) if attrs else {},
+            )
+        )
+        return span_id

@@ -1,0 +1,148 @@
+"""Well-formedness checks for span trees and exported Chrome traces.
+
+Used three ways: by the test suite on live ``SpanStore`` objects, by CI on
+an exported ``--trace-out`` file (``python -m repro.obs.validate FILE``),
+and by anyone debugging a malformed trace.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from repro.obs.spans import SpanStore
+
+# Nesting tolerance: virtual-clock spans nest exactly, but wall-clock spans
+# (realtime kernel) can disagree by scheduler jitter between two reads of
+# the clock.  Chrome timestamps are integer microseconds, so one full tick
+# of rounding slack is also needed.
+_EPSILON = 1e-6
+
+
+def validate_spans(store: SpanStore) -> list[str]:
+    """Return a list of structural problems (empty = well-formed)."""
+    problems: list[str] = []
+    seen: set[int] = set()
+    for span in store:
+        if span.id in seen:
+            problems.append(f"duplicate span id {span.id} ({span.name})")
+        seen.add(span.id)
+
+    for span in store:
+        if span.parent != -1 and store.get(span.parent) is None:
+            problems.append(
+                f"span {span.id} ({span.name}) has unresolved parent {span.parent}"
+            )
+        if not span.finished:
+            problems.append(f"span {span.id} ({span.name}) never finished")
+        if span.end is not None and span.end < span.start - _EPSILON:
+            problems.append(
+                f"span {span.id} ({span.name}) ends before it starts "
+                f"({span.start} -> {span.end})"
+            )
+
+    # Every child must close no later than its parent: the recorder finishes
+    # child spans before the enclosing span at every instrumentation site.
+    for span in store:
+        if span.parent == -1 or span.instant:
+            continue
+        parent = store.get(span.parent)
+        if parent is None or parent.instant:
+            continue
+        if span.start < parent.start - _EPSILON:
+            problems.append(
+                f"span {span.id} ({span.name}) starts before parent "
+                f"{parent.id} ({parent.name})"
+            )
+        if (
+            span.end is not None
+            and parent.end is not None
+            and span.end > parent.end + _EPSILON
+        ):
+            problems.append(
+                f"span {span.id} ({span.name}) closes after parent "
+                f"{parent.id} ({parent.name})"
+            )
+    return problems
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> list[str]:
+    """Structural checks on a Chrome trace-event JSON object."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["trace payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+
+    named: dict[int, set[int]] = {}
+    flows: dict[Any, list[str]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in {"X", "M", "i", "s", "f"}:
+            problems.append(f"event {i} has unsupported ph {ph!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i} ({ph}) missing {field!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"event {i} has non-integer pid/tid")
+            continue
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named.setdefault(ev["pid"], set())
+            elif ev.get("name") == "thread_name":
+                named.setdefault(ev["pid"], set()).add(ev["tid"])
+            continue
+        if "ts" not in ev or not isinstance(ev["ts"], int):
+            problems.append(f"event {i} ({ph}) missing integer ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"event {i} has bad dur {dur!r}")
+        if ph in {"s", "f"}:
+            flows.setdefault(ev.get("id"), []).append(ph)
+
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") not in {"X", "i"}:
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if pid not in named:
+            problems.append(f"event pid {pid} has no process_name metadata")
+        elif tid not in named[pid]:
+            problems.append(f"event pid {pid} tid {tid} has no thread_name metadata")
+
+    for flow_id, phases in flows.items():
+        if sorted(phases) != ["f", "s"]:
+            problems.append(
+                f"flow {flow_id!r} is unbalanced (phases: {sorted(phases)})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.validate TRACE_FILE", file=sys.stderr)
+        return 2
+    with open(args[0], encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    events = payload["traceEvents"]
+    spans = sum(1 for ev in events if ev.get("ph") == "X")
+    print(f"ok: {len(events)} events ({spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,21 @@ class AFFPool(ChildPool):
         self._service_in_cycle = 0.0
         self._failed_in_cycle = 0
 
+    def _obs_instant(self, name: str, **attrs) -> None:
+        """Mirror an adaptation decision into the span store, so traces
+        show *why* the tree changed shape next to *when* it did."""
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.instant(
+                name,
+                category="adapt",
+                parent=self._inv_span,
+                process=self.ctx.process_name,
+                at=self.ctx.kernel.now(),
+                plan_function=self.plan_function.name,
+                **attrs,
+            )
+
     # -- lifecycle hooks --------------------------------------------------------
 
     async def on_first_use(self) -> None:
@@ -66,6 +81,7 @@ class AFFPool(ChildPool):
             plan_function=self.plan_function.name,
             children=len(self.children),
         )
+        self._obs_instant("init_stage", children=len(self.children))
 
     def on_rebind(self) -> None:
         """Restart the monitoring clock for the adopting query.
@@ -130,6 +146,13 @@ class AFFPool(ChildPool):
             mean_service_time=mean_service_time,
             **({"failed": failed} if failed else {}),
         )
+        self._obs_instant(
+            "cycle",
+            children=len(self.children),
+            tuples=tuples,
+            time_per_tuple=time_per_tuple,
+            mean_service_time=mean_service_time,
+        )
         self._eoc_in_cycle = 0
         self._results_in_cycle = 0
         self._service_in_cycle = 0.0
@@ -169,6 +192,7 @@ class AFFPool(ChildPool):
             children=len(self.children),
             reason=reason,
         )
+        self._obs_instant("adapt_stop", children=len(self.children), reason=reason)
 
     async def _add_stage(self) -> None:
         self._stages += 1
@@ -189,6 +213,7 @@ class AFFPool(ChildPool):
             added=to_add,
             children=len(self.children),
         )
+        self._obs_instant("add_stage", added=to_add, children=len(self.children))
 
     async def _drop_stage(self) -> None:
         self._stages += 1
@@ -217,6 +242,11 @@ class AFFPool(ChildPool):
             "drop_stage",
             process=self.ctx.process_name,
             plan_function=self.plan_function.name,
+            dropped=victim.endpoints.name,
+            children=len(self.children),
+        )
+        self._obs_instant(
+            "drop_stage",
             dropped=victim.endpoints.name,
             children=len(self.children),
         )

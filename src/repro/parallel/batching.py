@@ -256,7 +256,9 @@ class BatchController:
             pool._seq += len(buffer)
             for offset, row in enumerate(buffer):
                 pool.note_sent(child, seq_start + offset, row)
-            child.endpoints.downlink.send(ParamBatch(seq_start, tuple(buffer)))
+            child.endpoints.downlink.send(
+                ParamBatch(seq_start, tuple(buffer), span=pool._inv_span)
+            )
             self.counters.param_batches += 1
             self.counters.batched_params += len(buffer)
         self.counters.flushes[trigger] = self.counters.flushes.get(trigger, 0) + 1
@@ -307,7 +309,9 @@ class BatchController:
         pool = self.pool
         pool._seq += 1
         pool.note_sent(child, pool._seq, row)
-        child.endpoints.downlink.send(ParamTuple(pool._seq, row))
+        child.endpoints.downlink.send(
+            ParamTuple(pool._seq, row, span=pool._inv_span)
+        )
         self.counters.param_tuples += 1
 
     # -- linger timers -----------------------------------------------------------

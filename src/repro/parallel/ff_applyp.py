@@ -123,6 +123,10 @@ class ChildPool:
         self._ok_in_invocation = 0
         self._failed_in_invocation = 0
         self.batcher = BatchController(self)
+        # Observability (repro.obs): id of the current invocation's span.
+        # Stamped onto every downlink message so child-side call spans can
+        # link back across the process boundary; -1 = tracing off.
+        self._inv_span = -1
 
     # -- child lifecycle ---------------------------------------------------------
 
@@ -163,7 +167,9 @@ class ChildPool:
             self.total_spawned += 1
             kernel.spawn(self._watch_child(name, handle), name=f"{name}-watch")
             await kernel.sleep(self.costs.ship_function)
-            endpoints.downlink.send(ShipPlanFunction(self._plan_function_dict))
+            endpoints.downlink.send(
+                ShipPlanFunction(self._plan_function_dict, span=self._inv_span)
+            )
             self.ctx.trace.record(
                 kernel.now(),
                 "spawn",
@@ -453,7 +459,40 @@ class ChildPool:
     # -- the operator loop ----------------------------------------------------------
 
     async def run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
-        """One invocation of the operator over one parameter stream."""
+        """One invocation of the operator over one parameter stream.
+
+        When tracing is on, the whole invocation is wrapped in an
+        ``invoke`` span whose id is stamped onto every downlink message
+        (``self._inv_span``); the child-side per-call spans use it as
+        their parent, which is what links the span tree across the
+        process boundary.
+        """
+        obs = self.ctx.obs
+        if not obs.enabled:
+            async for row in self._run(source):
+                yield row
+            return
+        self._inv_span = obs.start(
+            f"invoke:{self.plan_function.name}",
+            category="invoke",
+            parent=self.ctx.obs_span,
+            process=self.ctx.process_name,
+            at=self.ctx.kernel.now(),
+            plan_function=self.plan_function.name,
+            children=len(self.children),
+        )
+        try:
+            async for row in self._run(source):
+                yield row
+        finally:
+            obs.finish(
+                self._inv_span,
+                at=self.ctx.kernel.now(),
+                children=len(self.children),
+            )
+            self._inv_span = -1
+
+    async def _run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
         if self._closed:
             raise PlanError("operator pool used after shutdown")
         if not self.children:
@@ -672,6 +711,8 @@ class ChildPool:
         child_ctx.retry_backoff = self.ctx.retry_backoff
         child_ctx.cache_registry = self.ctx.cache_registry
         child_ctx._name_counter = self.ctx._name_counter
+        child_ctx.obs = self.ctx.obs
+        child_ctx.obs_span = self.ctx.obs_span
         if child_ctx.cache is not None:
             child_ctx.cache.stats = CacheStats()
             self.ctx.cache_registry.append(child_ctx.cache)

@@ -28,12 +28,17 @@ from dataclasses import dataclass
 @dataclass(frozen=True)
 class ShipPlanFunction:
     plan_function: dict  # serialized PlanFunction
+    # Observability (repro.obs): id of the sender-side span this message
+    # belongs to, so child-side spans can link back to the invocation that
+    # produced them across the process boundary.  -1 = tracing off.
+    span: int = -1
 
 
 @dataclass(frozen=True)
 class ParamTuple:
     seq: int
     row: tuple
+    span: int = -1  # sender-side invocation span (repro.obs); -1 = off
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,7 @@ class ParamBatch:
 
     seq_start: int
     rows: tuple[tuple, ...]
+    span: int = -1  # sender-side invocation span (repro.obs); -1 = off
 
 
 @dataclass(frozen=True)

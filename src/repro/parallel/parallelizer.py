@@ -330,13 +330,18 @@ def parallelize(
     registry: FunctionRegistry,
     fanouts: list[int] | None = None,
     adaptation: AdaptationParams | None = None,
+    *,
+    obs=None,
+    obs_parent: int = -1,
 ) -> PlanNode:
     """Rewrite a central plan into a parallel one.
 
     Exactly one of ``fanouts`` (manual ``FF_APPLYP`` tree, one entry per
     parallelizable section in left-to-right plan order, 0 = fuse into the
     previous level) or ``adaptation`` (``AFF_APPLYP``) must be given.  A
-    plan with no parallelizable section is returned unchanged.
+    plan with no parallelizable section is returned unchanged.  ``obs``
+    (a :class:`repro.obs.TraceRecorder`) wraps the plan-function
+    generation in a compile-phase span under ``obs_parent``.
     """
     if (fanouts is None) == (adaptation is None):
         raise PlanError("specify exactly one of fanouts/adaptation")
@@ -355,6 +360,19 @@ def parallelize(
         )
     cursor = _FanoutCursor(list(fanouts) if fanouts is not None else None)
     rewriter = _Rewriter(registry, cursor, adaptation)
-    rewritten = rewriter.rewrite(plan)
+    span = -1
+    if obs is not None and obs.enabled:
+        span = obs.start(
+            "plan_functions",
+            category="compile",
+            parent=obs_parent,
+            process="compiler",
+            sections=total,
+        )
+    try:
+        rewritten = rewriter.rewrite(plan)
+    finally:
+        if span != -1:
+            obs.finish(span, plan_functions=rewriter._pf_counter)
     cursor.assert_exhausted()
     return rewritten

@@ -84,6 +84,48 @@ async def child_main(
         plan_function=plan_function.name,
     )
 
+    if ctx.obs.enabled:
+        ctx.obs.instant(
+            "install",
+            category="event",
+            parent=first.span,
+            process=endpoints.name,
+            at=kernel.now(),
+            plan_function=plan_function.name,
+        )
+
+    # ctx.obs is read per call (not captured): a warm pool leased into a
+    # new query re-homes the recorder via ChildPool.rebind().
+    enclosing = [-1]
+
+    def begin_call(seq: int, parent_span: int, started: float) -> int:
+        """Open the per-call span and make it the context's enclosing span
+        so the web-service spans of the call (and any nested operator's
+        invocation spans) nest under it."""
+        obs = ctx.obs
+        if not obs.enabled:
+            return -1
+        span = obs.start(
+            f"call#{seq}",
+            category="call",
+            parent=parent_span,
+            process=endpoints.name,
+            at=started,
+            seq=seq,
+        )
+        enclosing[0] = ctx.obs_span
+        ctx.obs_span = span
+        return span
+
+    def end_call(span: int, rows: int, error: str | None = None) -> None:
+        if span == -1:
+            return
+        ctx.obs_span = enclosing[0]
+        if error is None:
+            ctx.obs.finish(span, at=kernel.now(), rows=rows)
+        else:
+            ctx.obs.finish(span, at=kernel.now(), rows=rows, error=error)
+
     fail_fast = costs.on_error == "fail"
     injector = (
         costs.faults.injector_for(endpoints.name)
@@ -100,6 +142,7 @@ async def child_main(
                 if fail_fast:
                     rows_for_call = 0
                     started = kernel.now()
+                    call_span = begin_call(message.seq, message.span, started)
                     try:
                         if injector is not None:
                             injector.before_call()
@@ -112,8 +155,10 @@ async def child_main(
                             )
                             rows_for_call += 1
                     except ReproError as error:
+                        end_call(call_span, rows_for_call, str(error))
                         endpoints.uplink.send(ChildError(endpoints.name, str(error)))
                         break
+                    end_call(call_span, rows_for_call)
                     endpoints.calls_handled += 1
                     endpoints.rows_emitted += rows_for_call
                     endpoints.uplink.send(
@@ -130,6 +175,7 @@ async def child_main(
                 # report the failure, and keep serving.
                 call_rows: list[tuple] = []
                 started = kernel.now()
+                call_span = begin_call(message.seq, message.span, started)
                 try:
                     if injector is not None:
                         injector.before_call()
@@ -139,12 +185,14 @@ async def child_main(
                         await kernel.sleep(costs.result_tuple)
                         call_rows.append(row)
                 except ReproError as error:
+                    end_call(call_span, len(call_rows), str(error))
                     endpoints.uplink.send(
                         CallFailed(
                             endpoints.name, message.seq, message.row, str(error)
                         )
                     )
                     continue
+                end_call(call_span, len(call_rows))
                 endpoints.calls_handled += 1
                 endpoints.rows_emitted += len(call_rows)
                 for row in call_rows:
@@ -171,6 +219,7 @@ async def child_main(
                     seq = message.seq_start + offset
                     call_rows = []
                     started = kernel.now()
+                    call_span = begin_call(seq, message.span, started)
                     try:
                         if injector is not None:
                             injector.before_call()
@@ -180,6 +229,7 @@ async def child_main(
                             await kernel.sleep(costs.result_tuple)
                             call_rows.append(row)
                     except ReproError as error:
+                        end_call(call_span, len(call_rows), str(error))
                         if fail_fast:
                             # Seed semantics: ship the partial rows (the
                             # parent replays them as the trailing rows of
@@ -191,6 +241,7 @@ async def child_main(
                             CallFailed(endpoints.name, seq, param_row, str(error))
                         )
                         continue
+                    end_call(call_span, len(call_rows))
                     endpoints.calls_handled += 1
                     endpoints.rows_emitted += len(call_rows)
                     batch_rows.extend(call_rows)

@@ -87,6 +87,12 @@ class ProcessHandle(ABC):
 class Kernel(ABC):
     """Factory and scheduler for the primitives above."""
 
+    # Span recorder (repro.obs) for kernel-level scheduling spans: each
+    # spawned task gets a `task` span covering its lifetime.  None (the
+    # default) disables the instrumentation entirely; WSMED.sql sets it for
+    # the duration of a traced run.
+    obs = None
+
     @abstractmethod
     def now(self) -> float:
         """Current time in model seconds."""

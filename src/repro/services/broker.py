@@ -186,6 +186,8 @@ class ServiceBroker:
         arguments: list[Any],
         *,
         recorder: CallRecorder | None = None,
+        obs=None,
+        obs_span: int = -1,
     ) -> Sequence:
         """Invoke a web-service operation; returns the decoded value model.
 
@@ -194,7 +196,9 @@ class ServiceBroker:
         the whole call races a deadline and raises a retriable
         :class:`ServiceFault` when it loses.  When ``recorder`` is given,
         every statistics write is mirrored into it so a multi-query
-        engine can attribute the call to the query that made it.
+        engine can attribute the call to the query that made it.  When an
+        ``obs`` recorder is given, queue-wait and server-busy sub-spans are
+        recorded under ``obs_span`` (the caller's web-service span).
         """
         endpoint = self._endpoint(uri)
         document = endpoint.document
@@ -206,11 +210,15 @@ class ServiceBroker:
         profile = endpoint.profile_for(operation)
         if profile.timeout is None:
             return await self._perform(
-                endpoint, wsdl_operation, profile, arguments, recorder
+                endpoint, wsdl_operation, profile, arguments, recorder,
+                obs=obs, obs_span=obs_span,
             )
         try:
             return await self.kernel.wait_for(
-                self._perform(endpoint, wsdl_operation, profile, arguments, recorder),
+                self._perform(
+                    endpoint, wsdl_operation, profile, arguments, recorder,
+                    obs=obs, obs_span=obs_span,
+                ),
                 profile.timeout,
             )
         except TimeoutError:
@@ -229,6 +237,9 @@ class ServiceBroker:
         profile,
         arguments: list[Any],
         recorder: CallRecorder | None = None,
+        *,
+        obs=None,
+        obs_span: int = -1,
     ) -> Sequence:
         operation = wsdl_operation.name
         service = endpoint.document.service_name
@@ -246,10 +257,30 @@ class ServiceBroker:
         queue_entered = kernel.now()
         endpoint.concurrent += 1
         acquired = False
+        obs_process = f"ws:{service}" if obs is not None else ""
+        queue_span = server_span = -1
+        if obs is not None:
+            queue_span = obs.start(
+                f"queue:{operation}",
+                category="queue",
+                parent=obs_span,
+                process=obs_process,
+                at=queue_entered,
+                capacity=endpoint.capacity,
+            )
         try:
             await endpoint.slots.acquire()
             acquired = True
             queue_wait = kernel.now() - queue_entered
+            if obs is not None:
+                obs.finish(queue_span, at=kernel.now(), wait=queue_wait)
+                server_span = obs.start(
+                    f"serve:{operation}",
+                    category="server",
+                    parent=obs_span,
+                    process=obs_process,
+                    at=kernel.now(),
+                )
             for sink in sinks:
                 sink.queue_wait.add(queue_wait)
             if self.fault_rate and self._rng.random() < self.fault_rate:
@@ -280,6 +311,11 @@ class ServiceBroker:
             endpoint.concurrent -= 1
             if acquired:
                 endpoint.slots.release()
+            if obs is not None:
+                # Close whatever is still open: a timeout can cancel the
+                # call mid-queue or mid-service.
+                obs.finish(queue_span, at=kernel.now())
+                obs.finish(server_span, at=kernel.now())
 
         response_text = soap.encode_response(wsdl_operation, payload)
         await kernel.sleep(profile.rtt / 2.0)

@@ -170,31 +170,54 @@ class OperationWrapper:
         ``cache_collapse`` trace event instead of a ``service_call``, so
         traces distinguish real round trips from avoided ones.
         """
-        if ctx.cache is None:
-            out = await ctx.broker.call(
-                self.document.uri,
-                self.document.service_name,
+        obs = ctx.obs
+        ws_span = -1
+        if obs.enabled:
+            ws_span = obs.start(
                 self.name,
-                coerced,
-                recorder=ctx.call_recorder,
+                category="ws",
+                parent=ctx.obs_span,
+                process=ctx.process_name,
+                at=started,
+                operation=self.name,
+                service=self.document.service_name,
             )
-            outcome = MISS
-        else:
-            out, outcome = await ctx.cache.call(
-                (
-                    self.document.uri,
-                    self.document.service_name,
-                    self.name,
-                    tuple(coerced),
-                ),
-                lambda: ctx.broker.call(
+        try:
+            if ctx.cache is None:
+                out = await ctx.broker.call(
                     self.document.uri,
                     self.document.service_name,
                     self.name,
                     coerced,
                     recorder=ctx.call_recorder,
-                ),
-            )
+                    obs=obs if obs.enabled else None,
+                    obs_span=ws_span,
+                )
+                outcome = MISS
+            else:
+                out, outcome = await ctx.cache.call(
+                    (
+                        self.document.uri,
+                        self.document.service_name,
+                        self.name,
+                        tuple(coerced),
+                    ),
+                    lambda: ctx.broker.call(
+                        self.document.uri,
+                        self.document.service_name,
+                        self.name,
+                        coerced,
+                        recorder=ctx.call_recorder,
+                        obs=obs if obs.enabled else None,
+                        obs_span=ws_span,
+                    ),
+                )
+        except BaseException as error:
+            if ws_span != -1:
+                obs.finish(ws_span, at=ctx.kernel.now(), error=str(error))
+            raise
+        if ws_span != -1:
+            obs.finish(ws_span, at=ctx.kernel.now(), outcome=str(outcome))
         if outcome == MISS:
             ctx.trace.record(
                 ctx.kernel.now(),

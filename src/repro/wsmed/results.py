@@ -1,17 +1,33 @@
-"""Query results with execution statistics."""
+"""Query results with execution statistics.
+
+The statistics surface is the :meth:`QueryResult.report` method: it renders
+named sections ("calls", "tree", "cache", "batch", "faults",
+"critical_path"), every number coming from the :class:`MetricsRegistry`
+built by :meth:`QueryResult.metrics`.  The former per-feature methods
+(``cache_report`` / ``batch_report`` / ``fault_report``) survive as thin
+deprecated shims over the matching section.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.cache import CacheStats
 from repro.fdb.values import Bag
+from repro.obs.critical_path import CriticalPathReport, analyze_critical_path
+from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanStore
 from repro.parallel.batching import MessageStats
 from repro.parallel.faults import FaultStats
 from repro.parallel.tree import TreeStats
 from repro.services.broker import CallStats
 from repro.util.trace import TraceLog
+
+#: Section names accepted by :meth:`QueryResult.report`, in display order.
+REPORT_SECTIONS = ("calls", "tree", "cache", "batch", "faults", "critical_path")
 
 
 @dataclass
@@ -42,6 +58,9 @@ class QueryResult:
     # calls, redeliveries, skips, respawns, breaker trips); all zero on a
     # clean run.
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    # Span store of a traced run (``obs=TraceRecorder()``); None when the
+    # query ran untraced.
+    spans: SpanStore | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -108,6 +127,7 @@ class QueryResult:
 
     def summary(self) -> str:
         """One-paragraph execution report for interactive use."""
+        registry = self.metrics()
         lines = [
             f"{len(self.rows)} rows in {self.elapsed:.2f} model seconds "
             f"({self.mode} mode, {self.total_calls} web service calls)",
@@ -120,61 +140,244 @@ class QueryResult:
                 f"queue {stats.queue_wait.mean:.3f}s"
             )
         if self.tree.processes_spawned:
-            lines.append(
-                f"  process tree: {self.tree.processes_spawned} spawned, "
-                f"{self.tree.processes_dropped} dropped, "
-                f"avg fanouts {['%.1f' % f for f in self.tree.average_fanouts()]}"
-            )
+            lines.append("  " + self._render_tree(registry))
         if self.cache_stats is not None:
-            lines.append("  " + self.cache_report())
+            lines.append("  " + self._render_cache(registry))
         if self.message_stats.param_batches or self.message_stats.result_batches:
-            lines.append("  " + self.batch_report())
+            lines.append("  " + self._render_batch(registry))
         if self.fault_stats.any():
-            lines.append("  " + self.fault_report())
+            lines.append("  " + self._render_faults(registry))
         return "\n".join(lines)
 
-    def fault_report(self) -> str:
-        """One-line failure report (the CLI's ``\\faults`` output)."""
-        stats = self.fault_stats
-        if not stats.any():
-            return "faults: none"
+    # -- the metrics registry ---------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """Load every execution statistic into one :class:`MetricsRegistry`.
+
+        This is the programmatic twin of :meth:`report`: the same numbers
+        the rendered sections show, under stable metric names
+        (``ws.calls{operation=...}``, ``cache.hits``, ``faults.respawns``,
+        ``span.ws.duration`` ...).
+        """
+        registry = MetricsRegistry()
+        registry.gauge("query.rows").set(len(self.rows))
+        registry.gauge("query.elapsed").set(self.elapsed)
+        registry.gauge("query.total_calls").set(self.total_calls)
+
+        for operation, stats in self.call_stats.items():
+            labels = {"operation": operation}
+            registry.counter("ws.calls", labels).inc(stats.calls)
+            registry.counter("ws.rows", labels).inc(stats.rows)
+            registry.counter("ws.bytes", labels).inc(stats.bytes_transferred)
+            registry.counter("ws.faults", labels).inc(stats.faults)
+            registry.counter("ws.timeouts", labels).inc(stats.timeouts)
+            registry.gauge("ws.mean_total_time", labels).set(stats.total_time.mean)
+            registry.gauge("ws.mean_queue_wait", labels).set(stats.queue_wait.mean)
+            registry.gauge("ws.mean_server_time", labels).set(stats.server_time.mean)
+
+        tree = self.tree
+        registry.counter("tree.processes_spawned").inc(tree.processes_spawned)
+        registry.counter("tree.processes_dropped").inc(tree.processes_dropped)
+        registry.counter("tree.add_stages").inc(tree.add_stages)
+        registry.counter("tree.drop_stages").inc(tree.drop_stages)
+        for level, fanout in enumerate(tree.average_fanouts()):
+            registry.gauge("tree.average_fanout", {"level": str(level)}).set(fanout)
+
+        registry.gauge("cache.enabled").set(0.0 if self.cache_stats is None else 1.0)
+        if self.cache_stats is not None:
+            cache = self.cache_stats
+            registry.counter("cache.hits").inc(cache.hits)
+            registry.counter("cache.misses").inc(cache.misses)
+            registry.counter("cache.collapsed").inc(cache.collapsed)
+            registry.counter("cache.evictions").inc(cache.evictions)
+            registry.counter("cache.expirations").inc(cache.expirations)
+            registry.counter("cache.calls_avoided").inc(cache.calls_avoided)
+            registry.gauge("cache.hit_rate").set(cache.hit_rate)
+
+        messages = self.message_stats
+        registry.counter("messages.total").inc(messages.total_messages)
+        registry.counter("messages.down").inc(messages.downlink_messages)
+        registry.counter("messages.up").inc(messages.uplink_messages)
+        registry.counter("batch.param_batches").inc(messages.param_batches)
+        registry.counter("batch.batched_params").inc(messages.batched_params)
+        registry.counter("batch.param_tuples").inc(messages.param_tuples)
+        registry.counter("batch.result_batches").inc(messages.result_batches)
+        registry.counter("batch.batched_results").inc(messages.batched_results)
+        registry.counter("batch.result_tuples").inc(messages.result_tuples)
+        for trigger, count in messages.flushes.items():
+            registry.counter("batch.flushes", {"trigger": trigger}).inc(count)
+
+        faults = self.fault_stats
+        registry.counter("faults.failed_calls").inc(faults.failed_calls)
+        registry.counter("faults.redeliveries").inc(faults.redeliveries)
+        registry.counter("faults.skipped_rows").inc(faults.skipped_rows)
+        registry.counter("faults.respawns").inc(faults.respawns)
+        registry.counter("faults.breaker_trips").inc(faults.breaker_trips)
+
+        if self.spans is not None:
+            for span in self.spans:
+                if span.instant or span.end is None:
+                    continue
+                registry.histogram(
+                    "span.duration", {"category": span.category}
+                ).observe(span.duration)
+        return registry
+
+    # -- the report surface ------------------------------------------------------
+
+    def report(self, sections: list[str] | tuple[str, ...] | str | None = None) -> str:
+        """Render named statistics sections from the metrics registry.
+
+        ``sections`` picks which to show (any of ``REPORT_SECTIONS``); the
+        default shows every section the execution produced data for.  This
+        replaces the former ``cache_report()`` / ``batch_report()`` /
+        ``fault_report()`` trio — their exact output strings are the
+        "cache", "batch" and "faults" sections.
+        """
+        registry = self.metrics()
+        if sections is None:
+            chosen = ["calls", "tree", "cache", "batch", "faults"]
+            if self.spans is not None:
+                chosen.append("critical_path")
+        elif isinstance(sections, str):
+            chosen = [sections]
+        else:
+            chosen = list(sections)
+        lines = []
+        for section in chosen:
+            renderer = self._SECTION_RENDERERS.get(section)
+            if renderer is None:
+                known = ", ".join(REPORT_SECTIONS)
+                raise ValueError(
+                    f"unknown report section {section!r}; known sections: {known}"
+                )
+            lines.append(renderer(self, registry))
+        return "\n".join(lines)
+
+    def _render_calls(self, registry: MetricsRegistry) -> str:
+        lines = [
+            f"calls: {int(registry.value('query.total_calls'))} web service "
+            f"calls in {registry.value('query.elapsed'):.2f} model seconds "
+            f"({self.mode} mode)"
+        ]
+        for operation in sorted(self.call_stats):
+            labels = {"operation": operation}
+            lines.append(
+                f"  {operation}: {int(registry.value('ws.calls', labels))} calls, "
+                f"mean {registry.value('ws.mean_total_time', labels):.3f}s, "
+                f"queue {registry.value('ws.mean_queue_wait', labels):.3f}s"
+            )
+        return "\n".join(lines)
+
+    def _render_tree(self, registry: MetricsRegistry) -> str:
+        if not registry.value("tree.processes_spawned"):
+            return "process tree: no child processes (central plan?)"
         return (
-            f"faults: {stats.failed_calls} failed calls, "
-            f"{stats.redeliveries} redelivered, {stats.skipped_rows} skipped, "
-            f"{stats.respawns} children respawned, "
-            f"{stats.breaker_trips} breaker trips"
+            f"process tree: {int(registry.value('tree.processes_spawned'))} spawned, "
+            f"{int(registry.value('tree.processes_dropped'))} dropped, "
+            f"avg fanouts {['%.1f' % f for f in self.tree.average_fanouts()]}"
         )
 
-    def batch_report(self) -> str:
-        """One-line micro-batching report (the CLI's ``\\batch`` output)."""
-        stats = self.message_stats
-        if not stats.any():
+    def _render_cache(self, registry: MetricsRegistry) -> str:
+        if not registry.value("cache.enabled"):
+            return "call cache: off"
+        return (
+            f"call cache: {int(registry.value('cache.hits'))} hits, "
+            f"{int(registry.value('cache.misses'))} misses, "
+            f"{int(registry.value('cache.collapsed'))} collapsed, "
+            f"{int(registry.value('cache.evictions'))} evicted, "
+            f"{int(registry.value('cache.expirations'))} expired "
+            f"({registry.value('cache.hit_rate'):.0%} hit rate, "
+            f"{int(registry.value('cache.calls_avoided'))} calls avoided)"
+        )
+
+    def _render_batch(self, registry: MetricsRegistry) -> str:
+        if not self.message_stats.any():
             return "batching: no inter-process messages (central plan?)"
         parts = [
-            f"messages: {stats.total_messages} "
-            f"({stats.downlink_messages} down, {stats.uplink_messages} up)",
-            f"param batches: {stats.param_batches} "
-            f"carrying {stats.batched_params} tuples "
-            f"(+{stats.param_tuples} singles)",
-            f"result batches: {stats.result_batches} "
-            f"carrying {stats.batched_results} rows "
-            f"(+{stats.result_tuples} singles)",
+            f"messages: {int(registry.value('messages.total'))} "
+            f"({int(registry.value('messages.down'))} down, "
+            f"{int(registry.value('messages.up'))} up)",
+            f"param batches: {int(registry.value('batch.param_batches'))} "
+            f"carrying {int(registry.value('batch.batched_params'))} tuples "
+            f"(+{int(registry.value('batch.param_tuples'))} singles)",
+            f"result batches: {int(registry.value('batch.result_batches'))} "
+            f"carrying {int(registry.value('batch.batched_results'))} rows "
+            f"(+{int(registry.value('batch.result_tuples'))} singles)",
         ]
-        if stats.flushes:
+        if self.message_stats.flushes:
             triggers = ", ".join(
-                f"{trigger}={count}" for trigger, count in sorted(stats.flushes.items())
+                f"{trigger}={int(registry.value('batch.flushes', {'trigger': trigger}))}"
+                for trigger in sorted(self.message_stats.flushes)
             )
             parts.append(f"flushes: {triggers}")
         return "; ".join(parts)
 
-    def cache_report(self) -> str:
-        """One-line call-cache report (the CLI's ``\\cache`` output)."""
-        if self.cache_stats is None:
-            return "call cache: off"
-        stats = self.cache_stats
+    def _render_faults(self, registry: MetricsRegistry) -> str:
+        if not self.fault_stats.any():
+            return "faults: none"
         return (
-            f"call cache: {stats.hits} hits, {stats.misses} misses, "
-            f"{stats.collapsed} collapsed, {stats.evictions} evicted, "
-            f"{stats.expirations} expired "
-            f"({stats.hit_rate:.0%} hit rate, {stats.calls_avoided} calls avoided)"
+            f"faults: {int(registry.value('faults.failed_calls'))} failed calls, "
+            f"{int(registry.value('faults.redeliveries'))} redelivered, "
+            f"{int(registry.value('faults.skipped_rows'))} skipped, "
+            f"{int(registry.value('faults.respawns'))} children respawned, "
+            f"{int(registry.value('faults.breaker_trips'))} breaker trips"
         )
+
+    def _render_critical_path(self, registry: MetricsRegistry) -> str:
+        return self.critical_path().render()
+
+    _SECTION_RENDERERS = {
+        "calls": _render_calls,
+        "tree": _render_tree,
+        "cache": _render_cache,
+        "batch": _render_batch,
+        "faults": _render_faults,
+        "critical_path": _render_critical_path,
+    }
+
+    # -- tracing accessors --------------------------------------------------------
+
+    def critical_path(self) -> CriticalPathReport:
+        """Critical-path analysis of a traced run (empty when untraced)."""
+        return analyze_critical_path(self.spans if self.spans is not None else SpanStore())
+
+    def chrome_trace(self) -> dict:
+        """The traced run as a Chrome trace-event JSON object."""
+        return to_chrome_trace(self.spans if self.spans is not None else SpanStore())
+
+    def write_trace(self, path: str) -> None:
+        """Write :meth:`chrome_trace` to ``path`` (open it in Perfetto)."""
+        write_chrome_trace(self.spans if self.spans is not None else SpanStore(), path)
+
+    # -- deprecated shims ---------------------------------------------------------
+
+    def fault_report(self) -> str:
+        """Deprecated: use ``report(sections=["faults"])``."""
+        warnings.warn(
+            "QueryResult.fault_report() is deprecated; use "
+            'report(sections=["faults"])',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._render_faults(self.metrics())
+
+    def batch_report(self) -> str:
+        """Deprecated: use ``report(sections=["batch"])``."""
+        warnings.warn(
+            "QueryResult.batch_report() is deprecated; use "
+            'report(sections=["batch"])',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._render_batch(self.metrics())
+
+    def cache_report(self) -> str:
+        """Deprecated: use ``report(sections=["cache"])``."""
+        warnings.warn(
+            "QueryResult.cache_report() is deprecated; use "
+            'report(sections=["cache"])',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._render_cache(self.metrics())

@@ -40,6 +40,7 @@ from repro.fdb.catalog import Catalog
 from repro.parallel.batching import message_stats_from_trace
 from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
 from repro.fdb.types import CHARSTRING, TupleType
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.faults import FaultInjection, fault_stats_from_trace
@@ -255,26 +256,73 @@ class WSMED:
         fanouts: list[int] | None,
         adaptation: AdaptationParams | None,
         name: str,
+        obs=NULL_RECORDER,
     ):
         """One compilation pass: returns ``(calculus, plan)``.
 
         Shared by :meth:`plan` and :meth:`explain` so explain does not
-        parse and generate the calculus twice.
+        parse and generate the calculus twice.  ``obs`` (a
+        :class:`repro.obs.TraceRecorder`) records one span per compile
+        phase: parse, calculus, algebra, parallelize, plan_functions.
+        Compile spans run on the recorder's wall clock (there is no kernel
+        yet), so they form their own root rather than nesting under the
+        kernel-clocked query span.
         """
         mode = ExecutionMode.of(mode)
-        calculus = generate_calculus(parse_query(sql_text), self.functions, name)
-        central = create_central_plan(calculus, self.functions)
-        if mode is ExecutionMode.CENTRAL:
-            return calculus, central
-        if mode is ExecutionMode.PARALLEL:
-            if fanouts is None:
-                raise PlanError("parallel mode requires a fanout vector")
-            return calculus, parallelize(central, self.functions, fanouts=fanouts)
-        return calculus, parallelize(
-            central,
-            self.functions,
-            adaptation=adaptation or AdaptationParams(),
-        )
+        root = current = -1
+        if obs.enabled:
+            root = obs.start(
+                f"compile:{name}",
+                category="compile",
+                process="compiler",
+                mode=mode.value,
+            )
+
+        def phase(label: str) -> int:
+            nonlocal current
+            if obs.enabled:
+                current = obs.start(
+                    label, category="compile", parent=root, process="compiler"
+                )
+            return current
+
+        try:
+            phase("parse")
+            query = parse_query(sql_text)
+            obs.finish(current)
+            phase("calculus")
+            calculus = generate_calculus(query, self.functions, name)
+            obs.finish(current)
+            phase("algebra")
+            central = create_central_plan(calculus, self.functions)
+            obs.finish(current)
+            if mode is ExecutionMode.CENTRAL:
+                return calculus, central
+            phase("parallelize")
+            if mode is ExecutionMode.PARALLEL:
+                if fanouts is None:
+                    raise PlanError("parallel mode requires a fanout vector")
+                plan = parallelize(
+                    central,
+                    self.functions,
+                    fanouts=fanouts,
+                    obs=obs if obs.enabled else None,
+                    obs_parent=current,
+                )
+            else:
+                plan = parallelize(
+                    central,
+                    self.functions,
+                    adaptation=adaptation or AdaptationParams(),
+                    obs=obs if obs.enabled else None,
+                    obs_parent=current,
+                )
+            obs.finish(current)
+            return calculus, plan
+        finally:
+            if obs.enabled:
+                obs.finish(current)  # no-op unless a phase failed mid-way
+                obs.finish(root)
 
     def plan(
         self,
@@ -284,10 +332,16 @@ class WSMED:
         fanouts: list[int] | None = None,
         adaptation: AdaptationParams | None = None,
         name: str = "Query",
+        obs=NULL_RECORDER,
     ) -> PlanNode:
         """Compile SQL down to an executable plan for the given mode."""
         _, plan = self._compile(
-            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
+            sql_text,
+            mode=mode,
+            fanouts=fanouts,
+            adaptation=adaptation,
+            name=name,
+            obs=obs,
         )
         return plan
 
@@ -346,6 +400,7 @@ class WSMED:
         on_error: str | None = None,
         faults: FaultInjection | None = None,
         name: str = "Query",
+        obs: NullRecorder | None = None,
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
 
@@ -360,10 +415,22 @@ class WSMED:
         ``on_error`` / ``faults`` are shortcuts that override the pool
         failure policy and fault-injection knobs of the effective
         process costs (see :class:`~repro.parallel.costs.ProcessCosts`).
+        ``obs`` (a :class:`repro.obs.TraceRecorder`) turns on span
+        tracing: compile phases, operator invocations, per-call and
+        web-service spans land in its store, which the returned result
+        exposes as ``QueryResult.spans`` (see ``critical_path()`` and
+        ``chrome_trace()``).  The default no-op recorder leaves the
+        execution byte-for-byte identical to an untraced run.
         """
         mode = ExecutionMode.of(mode)
-        plan = self.plan(
-            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
+        recorder = obs if obs is not None else NULL_RECORDER
+        _, plan = self._compile(
+            sql_text,
+            mode=mode,
+            fanouts=fanouts,
+            adaptation=adaptation,
+            name=name,
+            obs=recorder,
         )
         effective_costs = process_costs or self.process_costs
         if on_error is not None:
@@ -382,9 +449,33 @@ class WSMED:
         executor = ParallelExecutor(ctx, effective_costs)
 
         async def timed() -> tuple[list[tuple], float]:
+            # Span bookkeeping happens inside the coroutine: the realtime
+            # kernel's clock is only readable from within its event loop.
+            query_span = -1
+            if recorder.enabled:
+                query_span = recorder.start(
+                    f"query:{name}",
+                    category="query",
+                    process=ctx.process_name,
+                    at=kernel.now(),
+                    mode=mode.value,
+                )
+                ctx.obs = recorder
+                ctx.obs_span = query_span
+                kernel.obs = recorder
             started = kernel.now()
-            rows = await executor.execute(plan)
-            return rows, kernel.now() - started
+            try:
+                rows = await executor.execute(plan)
+            except BaseException:
+                if recorder.enabled:
+                    kernel.obs = None
+                    recorder.finish(query_span, at=kernel.now(), outcome="error")
+                raise
+            elapsed = kernel.now() - started
+            if recorder.enabled:
+                kernel.obs = None
+                recorder.finish(query_span, at=kernel.now(), rows=len(rows))
+            return rows, elapsed
 
         rows, elapsed = kernel.run(timed())
         return QueryResult(
@@ -402,4 +493,5 @@ class WSMED:
             ),
             message_stats=message_stats_from_trace(ctx.trace),
             fault_stats=fault_stats_from_trace(ctx.trace),
+            spans=recorder.store if recorder.enabled else None,
         )

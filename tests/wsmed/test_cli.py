@@ -291,3 +291,114 @@ def test_cli_on_error_flag_accepted() -> None:
     )
     assert code == 0
     assert "Atlanta" in output
+
+
+# -- the unified \stats command and tracing flags --------------------------------
+
+
+QUERY1_ONELINE = (
+    "Select gl.placename, gl.state "
+    "From GetAllStates gs, GetPlacesWithin gp, GetPlaceList gl "
+    "Where gs.State = gp.state and gp.distance = 15.0 "
+    "and gp.placeTypeToFind = 'City' and gp.place = 'Atlanta' "
+    "and gl.placeName = gp.ToCity + ', ' + gp.ToState "
+    "and gl.MaxItems = 100 and gl.imagePresence = 'true'"
+)
+
+
+def test_shell_stats_shows_all_sections(wsmed) -> None:
+    output = run_shell(
+        wsmed,
+        f"{QUERY1_ONELINE};\n\\stats\n\\quit\n",
+        mode="parallel",
+        fanouts=[5, 4],
+    )
+    assert "calls: 311 web service calls" in output
+    assert "process tree: 25 spawned" in output
+    assert "call cache: off" in output
+    assert "messages:" in output
+    assert "faults: none" in output
+
+
+def test_shell_stats_single_section_matches_alias(wsmed) -> None:
+    script = f"{QUERY1_ONELINE};\n\\stats faults\n\\faults\n\\quit\n"
+    output = run_shell(wsmed, script, mode="parallel", fanouts=[5, 4])
+    # The new section and the legacy alias print the identical line.
+    assert output.count("faults: none") == 2
+
+
+def test_shell_stats_engine_section(wsmed) -> None:
+    output = run_shell(wsmed, "\\stats engine\n\\quit\n")
+    assert "resident engine: off" in output
+
+
+def test_shell_stats_unknown_section(wsmed) -> None:
+    output = run_shell(wsmed, "\\stats bogus\n\\quit\n")
+    assert "unknown stats section" in output
+
+
+def test_shell_stats_before_query_errors(wsmed) -> None:
+    output = run_shell(wsmed, "\\stats\n\\quit\n")
+    assert "no query has been executed yet" in output
+
+
+def test_shell_stats_critical_path_requires_tracing(wsmed) -> None:
+    script = f"{QUERY1_ONELINE};\n\\stats critical_path\n\\quit\n"
+    output = run_shell(wsmed, script, mode="parallel", fanouts=[5, 4])
+    assert "was not traced" in output
+
+
+def test_cli_stats_flag_prints_report() -> None:
+    code, output = run_cli(
+        [
+            "--query",
+            "SELECT gs.Name FROM GetAllStates gs LIMIT 2",
+            "--profile",
+            "fast",
+            "--stats",
+        ]
+    )
+    assert code == 0
+    assert "calls:" in output and "faults: none" in output
+
+
+def test_cli_trace_out_writes_valid_chrome_trace(tmp_path) -> None:
+    import json
+
+    from repro.obs.validate import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    code, output = run_cli(
+        [
+            "--query",
+            "SELECT gs.Name FROM GetAllStates gs LIMIT 2",
+            "--profile",
+            "fast",
+            "--trace-out",
+            str(trace_path),
+        ]
+    )
+    assert code == 0
+    assert f"trace written to {trace_path}" in output
+    payload = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(payload) == []
+
+
+def test_shell_traced_stats_include_critical_path(wsmed, tmp_path) -> None:
+    trace_path = tmp_path / "shell_trace.json"
+    script = f"{QUERY1_ONELINE};\n\\stats critical_path\n\\quit\n"
+    output = run_shell(
+        wsmed,
+        script,
+        mode="parallel",
+        fanouts=[5, 4],
+        trace_out=str(trace_path),
+    )
+    assert "bottleneck: GetPlaceList at level 2" in output
+    assert trace_path.exists()
+
+
+def test_shell_help_mentions_stats(wsmed) -> None:
+    output = run_shell(wsmed, "\\help\n\\quit\n")
+    assert "\\stats SECTION" in output
+    assert "alias for \\stats cache" in output
