@@ -20,6 +20,13 @@ call cache on, cache-affinity dispatch):
 never saturates, so no first-finished fallback), which makes warm-tree
 hit rates — and therefore this bench — fully deterministic.
 
+The warm steady state above is fully cached (``broker_calls: 0``), so it
+says nothing about broker work.  The *cold workloads* section measures
+that side: fresh engines, no warm-up, identical and partially
+overlapping client batches — every row there issues real broker calls.
+The full clients x overlap x sharing grid lives in
+:mod:`benchmarks.bench_multiquery`.
+
 Usage::
 
     python -m benchmarks.bench_throughput [--smoke]
@@ -35,6 +42,8 @@ from repro import QUERY1_SQL, CacheConfig, ProcessCosts, QueryEngine, WSMED
 QUERY_KWARGS = dict(mode="parallel", fanouts=[5, 4])
 COSTS = ProcessCosts(dispatch="hash_affinity", prefetch=16).scaled(0.01)
 CLIENT_COUNTS = (1, 4, 16)
+COLD_WORKLOADS = ("overlapping", "partial")
+COLD_CLIENTS = 4
 WARM_ROUNDS = 2  # per-client warm-up batches before measuring
 
 
@@ -109,10 +118,43 @@ def measure_throughput(clients: int) -> dict:
     }
 
 
+def measure_cold_workload(workload: str, clients: int) -> dict:
+    """Broker work of ``clients`` concurrent *cold* queries.
+
+    No warm-up rounds and a fresh engine, so unlike the steady-state
+    rows above every query here pays real broker round trips —
+    ``broker_calls`` must come out positive.  ``workload`` picks the
+    overlap shape (see :func:`benchmarks.bench_multiquery.workload_batch`).
+    """
+    from benchmarks.bench_multiquery import workload_batch
+
+    engine = _engine(max_concurrency=max(CLIENT_COUNTS))
+    batch = workload_batch(workload, clients)
+    kernel = engine.kernel
+    started = kernel.now()
+    results = engine.sql_many(batch, **QUERY_KWARGS)
+    makespan = kernel.now() - started
+    broker_calls = engine.broker.total_calls()
+    engine.close()
+
+    assert len(results) == clients and all(r.rows for r in results)
+    return {
+        "workload": workload,
+        "clients": clients,
+        "makespan_model_s": makespan,
+        "broker_calls": broker_calls,
+        "calls_per_query": broker_calls / clients,
+    }
+
+
 def run(smoke: bool = False) -> dict:
     latency = measure_latency()
     counts = CLIENT_COUNTS[:2] + CLIENT_COUNTS[-1:] if not smoke else (1, 16)
     throughput = [measure_throughput(clients) for clients in counts]
+    cold = [
+        measure_cold_workload(workload, COLD_CLIENTS)
+        for workload in COLD_WORKLOADS
+    ]
     single = throughput[0]["queries_per_model_s"]
     scaling = {
         str(row["clients"]): row["queries_per_model_s"] / single
@@ -131,6 +173,7 @@ def run(smoke: bool = False) -> dict:
         "latency": latency,
         "throughput": throughput,
         "throughput_scaling_vs_1_client": scaling,
+        "cold_workloads": cold,
     }
 
 
@@ -152,6 +195,13 @@ def _report(payload: dict) -> None:
     scaling = payload["throughput_scaling_vs_1_client"]
     last = payload["throughput"][-1]["clients"]
     print(f"scaling at {last} clients: {scaling[str(last)]:.1f}x one client")
+    for row in payload["cold_workloads"]:
+        print(
+            f"cold {row['workload']:>11} x{row['clients']} clients: "
+            f"{row['broker_calls']} broker calls "
+            f"({row['calls_per_query']:.0f}/query, "
+            f"makespan {row['makespan_model_s']:.4f} model s)"
+        )
 
 
 def _emit_json(payload: dict) -> None:
@@ -164,6 +214,10 @@ def _check(payload: dict) -> None:
     assert payload["latency"]["speedup"] >= 5.0, payload["latency"]
     scaling = payload["throughput_scaling_vs_1_client"]
     assert scaling[str(payload["throughput"][-1]["clients"])] >= 3.0, scaling
+    for row in payload["cold_workloads"]:
+        # The cold rows exist to measure broker work; all-zero calls
+        # would mean this bench regressed into replaying caches again.
+        assert row["broker_calls"] >= row["clients"], row
 
 
 def test_resident_engine_throughput(benchmark) -> None:

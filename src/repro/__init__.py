@@ -25,7 +25,7 @@ The package layers (see DESIGN.md for the full inventory):
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
-from repro.engine import EngineStats, QueryEngine
+from repro.engine import EngineStats, QueryEngine, ShareConfig, SharedStats
 from repro.obs import (
     CriticalPathReport,
     MetricsRegistry,
@@ -85,6 +85,8 @@ __all__ = [
     "QueryResult",
     "QueryEngine",
     "EngineStats",
+    "ShareConfig",
+    "SharedStats",
     "TraceRecorder",
     "SpanStore",
     "MetricsRegistry",

@@ -87,6 +87,13 @@ class ExecutionContext:
     # broker's own (global) counters as the only record, which is the
     # one-query-per-broker seed behaviour.
     call_recorder: Optional[CallRecorder] = None
+    # Engine-scoped multi-query sharing tier
+    # (repro.engine.shared.SharedCallCache); None — the default and the
+    # only value outside a sharing-enabled QueryEngine — keeps the
+    # transport path bit-for-bit seed-identical.  Typed loosely because
+    # the engine layer sits above this module.  Propagates to child
+    # processes via `for_process` (dataclasses.replace).
+    shared: Optional[object] = None
     # Shared mutable counter for unique process names across the query.
     _name_counter: list = field(default_factory=lambda: [0])
     # Span recorder (repro.obs).  NULL_RECORDER is a shared no-op whose

@@ -85,6 +85,19 @@ class CacheStats:
     ``expirations`` entries dropped because their TTL elapsed.
     ``failures``    leader calls that raised; each also propagated the
                     fault to its collapsed waiters.
+
+    Under a sharing :class:`~repro.engine.QueryEngine` three more
+    counters attribute this query's use of the *engine-level* tier
+    (:mod:`repro.engine.shared`).  They never overlap the per-process
+    counters above — a ``shared_hit``/``shared_wait`` was a per-process
+    *miss* that the shared tier then answered, and ``coalesced`` rides
+    on real round trips — so totals are free of double counting:
+
+    ``shared_hits``   per-process misses served from the engine's shared
+                      memo (no broker round trip).
+    ``shared_waits``  per-process misses that awaited another query's
+                      identical in-flight call (no new round trip).
+    ``coalesced``     real round trips that rode a cross-query batch.
     """
 
     hits: int = 0
@@ -93,6 +106,9 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     failures: int = 0
+    shared_hits: int = 0
+    shared_waits: int = 0
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -100,8 +116,9 @@ class CacheStats:
 
     @property
     def calls_avoided(self) -> int:
-        """Broker round trips that memoization and collapsing removed."""
-        return self.hits + self.collapsed
+        """Broker round trips that memoization, collapsing and the
+        engine's shared tier removed for this query."""
+        return self.hits + self.collapsed + self.shared_hits + self.shared_waits
 
     @property
     def hit_rate(self) -> float:
@@ -118,6 +135,9 @@ class CacheStats:
         self.evictions += other.evictions
         self.expirations += other.expirations
         self.failures += other.failures
+        self.shared_hits += other.shared_hits
+        self.shared_waits += other.shared_waits
+        self.coalesced += other.coalesced
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -127,6 +147,9 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "failures": self.failures,
+            "shared_hits": self.shared_hits,
+            "shared_waits": self.shared_waits,
+            "coalesced": self.coalesced,
             "hit_rate": self.hit_rate,
         }
 
@@ -251,9 +274,25 @@ class CallCache:
             self.stats.evictions += 1
 
 
-def aggregate_stats(caches: list[CallCache]) -> CacheStats:
-    """Fold the per-process counters of a query's caches into one report."""
+def aggregate_stats(caches: list[CallCache], trace=None) -> CacheStats:
+    """Fold the per-process counters of a query's caches into one report.
+
+    With a ``trace`` (a :class:`~repro.util.trace.TraceLog`), the
+    query's use of the engine-level shared tier is folded in too: the
+    shared tier is engine-scoped, so per-query attribution comes from
+    the ``shared_hit``/``shared_wait`` trace events (and the
+    ``coalesced`` marker on ``service_call`` events) this query's
+    processes recorded — counters the per-process caches cannot see.
+    """
     total = CacheStats()
     for cache in caches:
         total.merge(cache.stats)
+    if trace is not None:
+        for event in trace:
+            if event.kind == "shared_hit":
+                total.shared_hits += 1
+            elif event.kind == "shared_wait":
+                total.shared_waits += 1
+            elif event.kind == "service_call" and event.data.get("coalesced"):
+                total.coalesced += 1
     return total

@@ -29,7 +29,7 @@ from typing import IO
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig
-from repro.engine import QueryEngine
+from repro.engine import QueryEngine, ShareConfig
 from repro.obs import TraceRecorder
 from repro.parallel.faults import FaultInjection
 from repro.util.errors import ReproError
@@ -187,6 +187,8 @@ class Shell:
             self._faults_command(argument)
         elif command == "engine":
             self._engine_report()
+        elif command == "share":
+            self._share_report()
         elif command == "rows":
             self.max_rows = int(argument)
             self.write(f"rows = {self.max_rows}")
@@ -223,19 +225,33 @@ class Shell:
         else:
             self.write(self.engine.stats().report())
 
+    def _share_report(self) -> None:
+        """``\\stats share``: the engine's multi-query sharing counters."""
+        if self.engine is None:
+            self.write(
+                "sharing: off (start with --engine --share to dedup and "
+                "batch web-service calls across concurrent queries)"
+            )
+        else:
+            self.write(self.engine.stats().share_report())
+
     def _stats_command(self, argument: str) -> None:
         """``\\stats [SECTION]``: the unified statistics report.
 
         Sections are those of :meth:`QueryResult.report` plus ``engine``
-        (the resident engine's own counters).  No argument shows every
-        section of the last execution.
+        (the resident engine's own counters) and ``share`` (its
+        multi-query sharing tiers).  No argument shows every section of
+        the last execution.
         """
         section = argument.strip().lower()
         if section == "engine":
             self._engine_report()
             return
+        if section == "share":
+            self._share_report()
+            return
         if section and section not in REPORT_SECTIONS:
-            known = ", ".join(REPORT_SECTIONS + ("engine",))
+            known = ", ".join(REPORT_SECTIONS + ("engine", "share"))
             raise ReproError(
                 f"unknown stats section {section!r}; known sections: {known}"
             )
@@ -394,7 +410,7 @@ meta commands:
   \\retries N        retry retriable service faults N times per call
   \\stats            all statistics sections of the last execution
   \\stats SECTION    one section: calls | tree | cache | batch | faults
-                    | critical_path (traced runs) | engine
+                    | critical_path (traced runs) | engine | share
   \\cache            alias for \\stats cache
   \\cache on [TTL]   memoize web-service calls (optional TTL, model s)
   \\cache off        disable the call cache
@@ -408,6 +424,7 @@ meta commands:
   \\faults inject F [C]  inject per-call failures (prob F) / crashes (C)
   \\faults off       seed behavior: policy fail, no injection
   \\engine           alias for \\stats engine
+  \\share            alias for \\stats share
   \\rows N           max rows displayed
   \\explain SQL;     show calculus, plan and cost estimate
   \\tree             process tree of the last execution
@@ -453,6 +470,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run queries on a resident engine (warm plans and process trees)",
     )
+    parser.add_argument(
+        "--share",
+        action="store_true",
+        help="share work across concurrent queries on the resident engine "
+        "(shared call cache, cross-query single-flight/batching, shared "
+        "pools); implies --engine",
+    )
     parser.add_argument("--explain", action="store_true", help="explain, don't run")
     parser.add_argument("--tree", action="store_true", help="print the process tree")
     parser.add_argument("--summary", action="store_true", help="print statistics")
@@ -476,7 +500,12 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     wsmed = WSMED(profile=arguments.profile)
     wsmed.import_all()
     fanouts = _parse_fanouts(arguments.fanouts) if arguments.fanouts else None
-    engine = QueryEngine(wsmed) if arguments.engine else None
+    engine = None
+    if arguments.engine or arguments.share:
+        engine = QueryEngine(
+            wsmed,
+            share=ShareConfig(enabled=True) if arguments.share else None,
+        )
     shell = Shell(
         wsmed,
         out,

@@ -8,8 +8,17 @@ from repro.engine.plan_cache import (
     plan_dependencies,
 )
 from repro.engine.pools import PoolRegistry, PoolRegistryStats, pool_fingerprint
+from repro.engine.shared import (
+    SHARED_HIT,
+    SHARED_WAIT,
+    ShareConfig,
+    SharedCallCache,
+    SharedStats,
+)
 
 __all__ = [
+    "SHARED_HIT",
+    "SHARED_WAIT",
     "CompiledPlan",
     "EngineStats",
     "PlanCache",
@@ -17,6 +26,9 @@ __all__ = [
     "PoolRegistry",
     "PoolRegistryStats",
     "QueryEngine",
+    "ShareConfig",
+    "SharedCallCache",
+    "SharedStats",
     "plan_dependencies",
     "pool_fingerprint",
 ]

@@ -43,6 +43,7 @@ from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats, CallCache, aggregate_stats
 from repro.engine.plan_cache import CompiledPlan, PlanCache, plan_dependencies
 from repro.engine.pools import PoolRegistry
+from repro.engine.shared import ShareConfig, SharedCallCache
 from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.parallel.batching import message_stats_from_trace
 from repro.parallel.costs import ProcessCosts
@@ -77,6 +78,19 @@ class EngineStats:
     pools_closed: int
     idle_pools: int
     resident_processes: int
+    # Multi-query sharing (all zero unless the engine was built with an
+    # enabled ShareConfig; see repro.engine.shared).
+    sharing: bool = False
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
+    shared_cache_waits: int = 0
+    shared_cache_failures: int = 0
+    shared_cache_entries: int = 0
+    shared_cache_invalidations: int = 0
+    coalesced_batches: int = 0
+    batched_calls: int = 0
+    pool_lease_waits: int = 0
+    shared_pool_leases: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -96,6 +110,36 @@ class EngineStats:
             f"({self.pools_condemned} condemned, {self.pools_trimmed} trimmed, "
             f"{self.pools_closed} closed)",
             f"resident query processes: {self.resident_processes}",
+        ]
+        if self.sharing:
+            lines.append(self.share_report())
+        return "\n".join(lines)
+
+    def share_report(self) -> str:
+        """The multi-query sharing section (CLI ``\\stats share``)."""
+        if not self.sharing:
+            return "sharing: off (construct the engine with share=ShareConfig(enabled=True))"
+        lookups = (
+            self.shared_cache_hits
+            + self.shared_cache_waits
+            + self.shared_cache_misses
+        )
+        rate = (
+            (self.shared_cache_hits + self.shared_cache_waits) / lookups
+            if lookups
+            else 0.0
+        )
+        lines = [
+            f"shared cache: {self.shared_cache_hits} hits, "
+            f"{self.shared_cache_waits} single-flight waits, "
+            f"{self.shared_cache_misses} misses ({rate:.0%} hit rate, "
+            f"{self.shared_cache_entries} entries, "
+            f"{self.shared_cache_failures} failed leaders, "
+            f"{self.shared_cache_invalidations} invalidated)",
+            f"cross-query batching: {self.coalesced_batches} coalesced "
+            f"batches carrying {self.batched_calls} calls",
+            f"shared pools: {self.shared_pool_leases} concurrent leases "
+            f"({self.pool_lease_waits} waits for a busy tree)",
         ]
         return "\n".join(lines)
 
@@ -127,6 +171,7 @@ class QueryEngine:
         plan_cache_size: int = 64,
         max_idle_pools: int = 32,
         fault_rate: float = 0.0,
+        share: ShareConfig | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ReproError(
@@ -147,6 +192,18 @@ class QueryEngine:
         self.max_concurrency = max_concurrency
         self.plan_cache = PlanCache(plan_cache_size)
         self.pool_registry = PoolRegistry(max_idle_pools)
+        # Multi-query sharing tiers (repro.engine.shared): one shared
+        # call cache + single-flight + batching object for the engine's
+        # lifetime, and (optionally) shared pool leases.  `None` — the
+        # default — keeps every query's call path seed-identical.
+        self.share = share if share is not None and share.enabled else None
+        self.shared = (
+            SharedCallCache(self.kernel, self.share)
+            if self.share is not None
+            else None
+        )
+        if self.share is not None and self.share.pools:
+            self.pool_registry.share_pools = True
         self._admission = None  # created lazily inside the kernel
         # One process-name counter for the engine's lifetime: the first
         # query numbers its children q1..qN exactly like the seed, and
@@ -167,9 +224,19 @@ class QueryEngine:
     # -- invalidation ------------------------------------------------------------
 
     def _on_function_replaced(self, name: str) -> None:
-        """A definition changed: stale plans and dependent pools must go."""
+        """A definition changed: stale plans, pools and shared results go.
+
+        Fires synchronously from ``import_wsdl`` /
+        ``register_helping_function`` — possibly *mid-query* under
+        concurrent admission: leased pools are flagged and doomed at
+        release (the running query finishes on its consistent tree), and
+        memoized shared results of the replaced operation are dropped so
+        no later call observes the old provider.
+        """
         self.plan_cache.invalidate(name)
         self.pool_registry.condemn(name)
+        if self.shared is not None:
+            self.shared.invalidate_operation(name)
 
     # -- query execution ------------------------------------------------------------
 
@@ -251,6 +318,7 @@ class QueryEngine:
             retries=retries,
             call_recorder=CallRecorder(),
             _name_counter=self._name_counter,
+            shared=self.shared,
         )
         config = cache if cache is not None else self.wsmed.cache_config
         leased_cache = self._lease_coordinator_cache(ctx, config)
@@ -303,7 +371,12 @@ class QueryEngine:
             tree=tree_stats_from_trace(ctx.trace),
             plan_text=render_plan(compiled.plan),
             cache_stats=(
-                aggregate_stats(ctx.cache_registry) if ctx.cache_registry else None
+                aggregate_stats(
+                    ctx.cache_registry,
+                    trace=ctx.trace if self.shared is not None else None,
+                )
+                if ctx.cache_registry or self.shared is not None
+                else None
             ),
             message_stats=message_stats_from_trace(ctx.trace),
             fault_stats=fault_stats_from_trace(ctx.trace),
@@ -363,6 +436,7 @@ class QueryEngine:
     def stats(self) -> EngineStats:
         plan_stats = self.plan_cache.stats
         pool_stats = self.pool_registry.stats
+        shared_stats = self.shared.stats if self.shared is not None else None
         return EngineStats(
             queries=self._queries,
             active=self._active,
@@ -380,6 +454,19 @@ class QueryEngine:
             pools_closed=pool_stats.closed,
             idle_pools=self.pool_registry.idle_pools(),
             resident_processes=self.pool_registry.resident_processes(),
+            sharing=self.shared is not None,
+            shared_cache_hits=shared_stats.hits if shared_stats else 0,
+            shared_cache_misses=shared_stats.misses if shared_stats else 0,
+            shared_cache_waits=shared_stats.waits if shared_stats else 0,
+            shared_cache_failures=shared_stats.failures if shared_stats else 0,
+            shared_cache_entries=len(self.shared) if self.shared else 0,
+            shared_cache_invalidations=(
+                shared_stats.invalidations if shared_stats else 0
+            ),
+            coalesced_batches=shared_stats.batches if shared_stats else 0,
+            batched_calls=shared_stats.batched_calls if shared_stats else 0,
+            pool_lease_waits=pool_stats.lease_waits,
+            shared_pool_leases=pool_stats.shared_leases,
         )
 
     # -- shutdown ------------------------------------------------------------------

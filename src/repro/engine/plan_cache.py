@@ -49,6 +49,39 @@ def plan_dependencies(plan: PlanNode) -> frozenset[str]:
     return frozenset(names)
 
 
+def structural_form(serialized) -> object:
+    """Canonicalize a serialized plan (sub)tree for cross-plan matching.
+
+    Two independently compiled plans with identical structure differ only
+    in their ``node_id`` strings (assigned by a global counter at
+    plan-build time).  This renumbers every ``node_id`` in first-visit
+    order over a key-sorted traversal, so structurally identical
+    subplans — e.g. the same FF subtree inside two compilations of the
+    same query — map to the same form.  Common-subplan detection for
+    shared pool leases fingerprints this form instead of the raw
+    serialization; correctness does not lean on node ids there because
+    replaced definitions are invalidated explicitly
+    (:meth:`~repro.engine.pools.PoolRegistry.condemn`).
+    """
+    mapping: dict[str, str] = {}
+
+    def canon(obj):
+        if isinstance(obj, dict):
+            out = {}
+            for key in sorted(obj):
+                value = obj[key]
+                if key == "node_id" and isinstance(value, str):
+                    out[key] = mapping.setdefault(value, f"n{len(mapping)}")
+                else:
+                    out[key] = canon(value)
+            return out
+        if isinstance(obj, list):
+            return [canon(item) for item in obj]
+        return obj
+
+    return canon(serialized)
+
+
 @dataclass
 class CompiledPlan:
     """A cached compilation result plus its function dependencies."""

@@ -35,23 +35,38 @@ from dataclasses import dataclass
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import FFApplyNode, PlanNode
 from repro.cache import CacheConfig, stable_hash
-from repro.engine.plan_cache import plan_dependencies
+from repro.engine.plan_cache import plan_dependencies, structural_form
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.ff_applyp import ChildPool
 
 
 def pool_fingerprint(
-    node: PlanNode, costs: ProcessCosts, cache_config: CacheConfig | None
+    node: PlanNode,
+    costs: ProcessCosts,
+    cache_config: CacheConfig | None,
+    *,
+    structural: bool = False,
 ) -> int:
-    """Stable identity of the child-process tree one operator would build."""
+    """Stable identity of the child-process tree one operator would build.
+
+    With ``structural=True`` (the sharing engine's common-subplan mode),
+    node ids are canonically renumbered first
+    (:func:`~repro.engine.plan_cache.structural_form`), so independently
+    compiled but structurally identical subplans match; stale trees are
+    then caught by explicit :meth:`PoolRegistry.condemn` invalidation
+    rather than by fingerprint divergence.
+    """
     if isinstance(node, FFApplyNode):
         shape = ("ff", node.fanout)
     else:
         shape = ("aff", tuple(sorted(node.params.to_dict().items())))
+    serialized = node.plan_function.to_dict()
+    if structural:
+        serialized = structural_form(serialized)
     return stable_hash(
         (
             shape,
-            json.dumps(node.plan_function.to_dict(), sort_keys=True),
+            json.dumps(serialized, sort_keys=True),
             repr(costs),
             repr(cache_config),
         )
@@ -63,9 +78,11 @@ class PoolRegistryStats:
     cold_starts: int = 0  # pools built because no warm one matched
     warm_leases: int = 0  # queries served from a resident tree
     released: int = 0  # pools handed back after a query
-    condemned: int = 0  # idle pools invalidated by a replaced definition
+    condemned: int = 0  # pools (idle or leased) invalidated by a replaced definition
     trimmed: int = 0  # idle pools dropped by the LRU bound
     closed: int = 0  # pools actually shut down
+    lease_waits: int = 0  # queries that parked for a busy warm tree (sharing on)
+    shared_leases: int = 0  # warm leases satisfied after such a wait
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -75,6 +92,8 @@ class PoolRegistryStats:
             "condemned": self.condemned,
             "trimmed": self.trimmed,
             "closed": self.closed,
+            "lease_waits": self.lease_waits,
+            "shared_leases": self.shared_leases,
         }
 
 
@@ -89,21 +108,40 @@ class PoolRegistry:
     def __init__(self, max_idle: int = 32) -> None:
         self.max_idle = max_idle
         self.stats = PoolRegistryStats()
+        # The sharing engine turns this on: overlapping queries may then
+        # *wait* for a busy warm tree instead of cold-cloning it, and
+        # fingerprints become structural (common-subplan detection).
+        self.share_pools = False
+        # Bumped by every condemn(); _condemned_at remembers at which
+        # epoch each function name was last replaced.  register() uses
+        # the pair to catch pools built from a plan that was compiled
+        # *before* a replacement but registered *after* the condemn
+        # sweep — under structural fingerprints such a stale tree would
+        # otherwise be leasable by queries running the new definition.
+        self.epoch = 0
+        self._condemned_at: dict[str, int] = {}
         # fingerprint -> stack of idle pools; OrderedDict gives LRU order
         # across fingerprints for the trim policy.
         self._free: "OrderedDict[int, list[ChildPool]]" = OrderedDict()
         self._idle = 0
+        # fingerprint -> pools currently leased out.  The concurrent-
+        # lease reference counts: len(bucket) holders now, plus waiter
+        # events parked in _waiters until a release hands the tree over.
+        self._leased: dict[int, list[ChildPool]] = {}
+        self._waiters: dict[int, list] = {}
         # Pools awaiting asynchronous shutdown (condemned or trimmed).
         self._doomed: list[ChildPool] = []
 
     # -- executor protocol -------------------------------------------------------
 
-    def lease(
-        self, node: PlanNode, costs: ProcessCosts, ctx: ExecutionContext
-    ) -> ChildPool | None:
-        """A warm pool matching ``node`` under ``ctx``, or None."""
-        cache_config = ctx.cache.config if ctx.cache is not None else None
-        key = pool_fingerprint(node, costs, cache_config)
+    def _fingerprint(
+        self, node: PlanNode, costs: ProcessCosts, cache_config: CacheConfig | None
+    ) -> int:
+        return pool_fingerprint(
+            node, costs, cache_config, structural=self.share_pools
+        )
+
+    def _pop_free(self, key: int, ctx: ExecutionContext) -> ChildPool | None:
         bucket = self._free.get(key)
         if not bucket:
             return None
@@ -112,45 +150,144 @@ class PoolRegistry:
             del self._free[key]
         self._idle -= 1
         pool.rebind(ctx)
+        self._leased.setdefault(key, []).append(pool)
         self.stats.warm_leases += 1
         return pool
 
-    def register(self, node: PlanNode, costs: ProcessCosts, pool: ChildPool) -> None:
-        """Stamp a freshly built pool so it can be released later."""
+    def lease(
+        self, node: PlanNode, costs: ProcessCosts, ctx: ExecutionContext
+    ) -> ChildPool | None:
+        """A warm pool matching ``node`` under ``ctx``, or None."""
+        cache_config = ctx.cache.config if ctx.cache is not None else None
+        return self._pop_free(self._fingerprint(node, costs, cache_config), ctx)
+
+    async def lease_or_wait(
+        self,
+        node: PlanNode,
+        costs: ProcessCosts,
+        ctx: ExecutionContext,
+        held: list[int],
+    ) -> tuple[ChildPool | None, int]:
+        """A warm pool, waiting for a busy one when sharing allows it.
+
+        Returns ``(pool_or_None, fingerprint)``; ``None`` means the
+        caller should cold-start (and register under the fingerprint).
+        A query waits only while another query holds a matching tree —
+        that holder releases in its executor's ``finally``, so the wait
+        terminates.  ``held`` lists the fingerprints this query already
+        holds; waiting is allowed only on fingerprints above all of them,
+        which totally orders acquisitions across queries and rules out
+        circular waits (queries running the same cached plan acquire in
+        identical plan order anyway — the common-subplan case this
+        serves).
+        """
+        cache_config = ctx.cache.config if ctx.cache is not None else None
+        key = self._fingerprint(node, costs, cache_config)
+        waited = False
+        while True:
+            pool = self._pop_free(key, ctx)
+            if pool is not None:
+                if waited:
+                    self.stats.shared_leases += 1
+                return pool, key
+            if not self.share_pools:
+                return None, key
+            if not self._leased.get(key):
+                return None, key
+            if held and max(held) >= key:
+                return None, key
+            waited = True
+            self.stats.lease_waits += 1
+            event = ctx.kernel.event()
+            self._waiters.setdefault(key, []).append(event)
+            await event.wait()
+
+    def register(
+        self,
+        node: PlanNode,
+        costs: ProcessCosts,
+        pool: ChildPool,
+        *,
+        epoch: int | None = None,
+    ) -> None:
+        """Stamp a freshly built pool so it can be released later.
+
+        ``epoch`` is the registry epoch captured when the pool's plan was
+        compiled (or fetched from the plan cache).  If any dependency was
+        condemned since, the plan — and therefore this tree — embeds a
+        replaced definition: the pool is flagged immediately so it serves
+        only its own query and is doomed at release.
+        """
         cache_config = pool.ctx.cache.config if pool.ctx.cache is not None else None
-        pool.registry_key = pool_fingerprint(node, costs, cache_config)
+        pool.registry_key = self._fingerprint(node, costs, cache_config)
         pool.registry_deps = plan_dependencies(node.plan_function.body)
+        pool.registry_condemned = epoch is not None and any(
+            self._condemned_at.get(dep, 0) > epoch for dep in pool.registry_deps
+        )
+        if pool.registry_condemned:
+            self.stats.condemned += 1
+        self._leased.setdefault(pool.registry_key, []).append(pool)
         self.stats.cold_starts += 1
 
     def release(self, pool: ChildPool) -> None:
-        """Hand a pool back after its query; it becomes leasable again."""
+        """Hand a pool back after its query; it becomes leasable again.
+
+        A pool condemned *mid-lease* (its definition was replaced while a
+        query was running on it) goes to the doomed list instead of the
+        free list — the finishing query keeps its (already consistent)
+        results, but no later query may see the stale tree.  Waiters for
+        the fingerprint are woken either way: they re-check and either
+        grab the freed tree or cold-start against the new definition.
+        """
         pool.harvest_messages()
         key = getattr(pool, "registry_key", None)
-        if key is None or pool._closed:
+        if key is None:
             return
-        self.stats.released += 1
-        self._free.setdefault(key, []).append(pool)
-        self._free.move_to_end(key)
-        self._idle += 1
-        while self._idle > self.max_idle:
-            old_key = next(iter(self._free))
-            bucket = self._free[old_key]
-            self._doomed.append(bucket.pop(0))
+        bucket = self._leased.get(key)
+        if bucket is not None and pool in bucket:
+            bucket.remove(pool)
             if not bucket:
-                del self._free[old_key]
-            self._idle -= 1
-            self.stats.trimmed += 1
+                del self._leased[key]
+        try:
+            if pool._closed:
+                return
+            if getattr(pool, "registry_condemned", False):
+                self._doomed.append(pool)
+                return
+            self.stats.released += 1
+            self._free.setdefault(key, []).append(pool)
+            self._free.move_to_end(key)
+            self._idle += 1
+            while self._idle > self.max_idle:
+                old_key = next(iter(self._free))
+                bucket = self._free[old_key]
+                self._doomed.append(bucket.pop(0))
+                if not bucket:
+                    del self._free[old_key]
+                self._idle -= 1
+                self.stats.trimmed += 1
+        finally:
+            self._wake_waiters(key)
+
+    def _wake_waiters(self, key: int) -> None:
+        for event in self._waiters.pop(key, []):
+            event.set()
 
     # -- invalidation ------------------------------------------------------------
 
     def condemn(self, function_name: str) -> int:
-        """Doom every idle pool whose plan function applies ``function_name``.
+        """Doom every pool whose plan function applies ``function_name``.
 
         Synchronous on purpose — it runs from ``import_wsdl`` /
         ``register_helping_function``, outside the kernel; the doomed
-        pools are actually shut down by the next :meth:`drain`.
+        pools are actually shut down by the next :meth:`drain`.  Idle
+        pools are doomed immediately; *leased* pools are flagged and
+        doomed at release, so a concurrent query finishes on the tree it
+        started with but nobody reuses it.
         """
         wanted = function_name.lower()
+        self.epoch += 1
+        self._condemned_at[wanted] = self.epoch
         count = 0
         for key in list(self._free):
             bucket = self._free[key]
@@ -167,6 +304,14 @@ class PoolRegistry:
                 self._free[key] = kept
             else:
                 del self._free[key]
+        for bucket in self._leased.values():
+            for pool in bucket:
+                if wanted in getattr(pool, "registry_deps", frozenset()) and not getattr(
+                    pool, "registry_condemned", False
+                ):
+                    pool.registry_condemned = True
+                    self.stats.condemned += 1
+                    count += 1
         return count
 
     # -- shutdown ------------------------------------------------------------------

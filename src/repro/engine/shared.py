@@ -1,0 +1,429 @@
+"""Engine-level sharing of web-service work across concurrent queries.
+
+The resident :class:`~repro.engine.QueryEngine` admits N queries on one
+kernel, but each query is blind to the others: every query (and every
+child process) keeps its own :class:`~repro.cache.CallCache`, so 16
+clients running the same query do 16x the broker work.  The paper
+parallelizes *within* one query; multi-query optimization (see *Multi
+Query Optimization in GLADE*, PAPERS.md) shares work *between* them.
+This module is the first two of the engine's three sharing tiers:
+
+1. **Shared call cache** — one engine-scoped memo of web-service results
+   keyed ``(uri, service, operation, args)``, consulted after the
+   per-process tier misses.  LRU/TTL bounds are independent of the
+   per-process tier, and entries are invalidated when
+   ``import_wsdl``/``register_helping_function`` replaces a definition.
+2. **Cross-query single-flight** — an identical call already in flight
+   for query A is awaited, not re-issued, by query B.  Unlike the
+   per-process collapse (where waiters share the leader's fault), a
+   failed leader here must *not* poison the waiting query: waiters wake,
+   discard the foreign failure and retry, one of them becoming the new
+   leader.  Total broker calls therefore scale with the number of
+   *distinct* calls, not the number of clients.
+3. **Cross-query batching** — misses that survive both tiers within one
+   linger window and target the same ``(uri, operation)`` coalesce into
+   one :meth:`~repro.services.broker.ServiceBroker.call_many` transport
+   round trip.  Results are demultiplexed back to each caller, and each
+   sub-call keeps its own :class:`~repro.services.broker.CallRecorder`
+   and trace/span attribution, so per-query statistics stay disjoint.
+
+(The third sharing tier — concurrent leases of warm child-process trees —
+lives in :mod:`repro.engine.pools`.)
+
+Everything here is off by default; with no :class:`ShareConfig` the
+engine's call path is bit-for-bit identical to the seed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cache import MISS
+from repro.runtime.base import Kernel
+from repro.services.broker import BatchRequest, CallRecorder, ServiceBroker
+from repro.util.errors import ReproError
+
+#: Shared-tier outcomes, in trace/report vocabulary.  ``MISS`` (a real
+#: broker round trip) is shared with the per-process tier.
+SHARED_HIT = "shared_hit"
+SHARED_WAIT = "shared_wait"
+
+
+@dataclass(frozen=True)
+class ShareConfig:
+    """Tuning of the engine's multi-query sharing tiers.
+
+    ``enabled``       master switch; the default ``False`` keeps every
+                      query's call path bit-for-bit seed-identical.
+    ``cache``         the shared result memo *and* cross-query
+                      single-flight (dedup rides on the in-flight table).
+    ``max_entries``   LRU bound of the shared memo, independent of the
+                      per-process tier.
+    ``ttl``           shared-entry lifetime in model seconds (``None`` =
+                      never expires; replaced definitions still evict).
+    ``batching``      coalesce same-endpoint misses from concurrent
+                      queries into one ``call_many`` transport trip.
+    ``batch_linger``  model seconds a miss waits for company before the
+                      coalesced flush (also the added worst-case latency
+                      of a lonely call).
+    ``batch_max``     flush immediately once this many calls are pending
+                      for one ``(uri, operation)``.
+    ``pools``         let overlapping queries wait for a busy warm pool
+                      (concurrent lease) instead of cold-cloning the tree.
+    """
+
+    enabled: bool = False
+    cache: bool = True
+    max_entries: int = 4096
+    ttl: float | None = None
+    batching: bool = True
+    batch_linger: float = 0.002
+    batch_max: int = 16
+    pools: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ReproError(
+                f"share max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.ttl is not None and self.ttl <= 0:
+            raise ReproError(f"share ttl must be positive (or None), got {self.ttl}")
+        if self.batch_linger < 0:
+            raise ReproError(
+                f"share batch_linger must be >= 0, got {self.batch_linger}"
+            )
+        if self.batch_max < 1:
+            raise ReproError(f"share batch_max must be >= 1, got {self.batch_max}")
+
+
+@dataclass
+class SharedStats:
+    """Engine-lifetime counters of the shared tier (all queries).
+
+    ``hits``          calls served from the shared memo.
+    ``misses``        broker round trips issued through the tier.
+    ``waits``         calls that parked on another query's in-flight
+                      identical call and shared its result.
+    ``failures``      leader calls that raised; their waiters retried
+                      instead of inheriting the fault.
+    ``evictions``     entries dropped by the LRU bound.
+    ``expirations``   entries dropped because their TTL elapsed.
+    ``invalidations`` entries dropped because a definition was replaced.
+    ``batches``       coalesced flushes that carried >= 2 calls.
+    ``batched_calls`` calls that rode a coalesced flush.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    waits: int = 0
+    failures: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    batches: int = 0
+    batched_calls: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.waits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a new round trip."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.waits) / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "waits": self.waits,
+            "failures": self.failures,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "batches": self.batches,
+            "batched_calls": self.batched_calls,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float | None  # model time; None = never
+
+
+class _Flight:
+    """One in-flight shared call: the leader's outcome, read by waiters.
+
+    ``error`` is informational only — waiters never re-raise it (a fault
+    belongs to the query that issued the call); they retry instead.
+    """
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.done = kernel.event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class _PendingBatch:
+    """Calls waiting to coalesce for one ``(uri, operation)``."""
+
+    __slots__ = ("requests", "generation")
+
+    def __init__(self, generation: int) -> None:
+        self.requests: list[BatchRequest] = []
+        self.generation = generation
+
+
+class SharedCallCache:
+    """The engine-scoped sharing tier above every per-process cache.
+
+    One instance belongs to one :class:`~repro.engine.QueryEngine`; all
+    queries (and all their child processes) route broker round trips
+    through :meth:`call`.  Per-query attribution is preserved because
+    each call carries its own recorder/span and trace events are written
+    by the caller, never by the shared tier.
+    """
+
+    def __init__(self, kernel: Kernel, config: ShareConfig) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.stats = SharedStats()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._in_flight: dict[Hashable, _Flight] = {}
+        self._pending: dict[tuple[str, str], _PendingBatch] = {}
+        self._generation = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ------------------------------------------------------------------
+
+    async def call(
+        self,
+        broker: ServiceBroker,
+        uri: str,
+        service: str,
+        operation: str,
+        arguments: list[Any],
+        *,
+        recorder: CallRecorder | None = None,
+        obs=None,
+        obs_span: int = -1,
+    ) -> tuple[Any, str, bool]:
+        """Route one web-service call through the sharing tiers.
+
+        Returns ``(value, outcome, coalesced)`` where ``outcome`` is one
+        of :data:`SHARED_HIT`, :data:`SHARED_WAIT` or
+        :data:`~repro.cache.MISS` (a real round trip) and ``coalesced``
+        says whether that round trip rode a cross-query batch.
+        """
+        key = (uri, service, operation, tuple(arguments))
+        try:
+            hash(key)
+        except TypeError:
+            # Unhashable argument: dispatch without memoizing or dedup.
+            self.stats.misses += 1
+            value, coalesced = await self._dispatch(
+                broker, uri, service, operation, arguments,
+                recorder=recorder, obs=obs, obs_span=obs_span,
+            )
+            return value, MISS, coalesced
+
+        if not self.config.cache:
+            self.stats.misses += 1
+            value, coalesced = await self._dispatch(
+                broker, uri, service, operation, arguments,
+                recorder=recorder, obs=obs, obs_span=obs_span,
+            )
+            return value, MISS, coalesced
+
+        waited = False
+        while True:
+            entry = self._lookup(key)
+            if entry is not None:
+                if waited:
+                    # Parked on a flight whose leader succeeded and
+                    # memoized before this waiter re-checked.
+                    self.stats.waits += 1
+                    return entry.value, SHARED_WAIT, False
+                self.stats.hits += 1
+                return entry.value, SHARED_HIT, False
+
+            flight = self._in_flight.get(key)
+            if flight is None:
+                break  # no leader: become one
+            waited = True
+            await flight.done.wait()
+            if flight.error is None:
+                self.stats.waits += 1
+                return flight.value, SHARED_WAIT, False
+            # The leader's call failed.  That fault belongs to the query
+            # that issued it — inheriting it here would poison an
+            # innocent query — so loop and retry (possibly as the new
+            # leader).
+
+        flight = _Flight(self.kernel)
+        self._in_flight[key] = flight
+        self.stats.misses += 1
+        try:
+            value, coalesced = await self._dispatch(
+                broker, uri, service, operation, arguments,
+                recorder=recorder, obs=obs, obs_span=obs_span,
+            )
+        except BaseException as error:
+            self.stats.failures += 1
+            flight.error = error
+            raise
+        else:
+            flight.value = value
+            self._store(key, value)
+            return value, MISS, coalesced
+        finally:
+            del self._in_flight[key]
+            flight.done.set()
+
+    # -- cross-query batching ------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        broker: ServiceBroker,
+        uri: str,
+        service: str,
+        operation: str,
+        arguments: list[Any],
+        *,
+        recorder: CallRecorder | None,
+        obs,
+        obs_span: int,
+    ) -> tuple[Any, bool]:
+        """One real round trip, possibly coalesced with concurrent ones."""
+        if not self.config.batching:
+            value = await broker.call(
+                uri, service, operation, arguments,
+                recorder=recorder, obs=obs, obs_span=obs_span,
+            )
+            return value, False
+
+        request = BatchRequest(
+            arguments=arguments, recorder=recorder, obs=obs, obs_span=obs_span,
+            done=self.kernel.event(),
+        )
+        queue_key = (uri, operation)
+        pending = self._pending.get(queue_key)
+        if pending is None:
+            self._generation += 1
+            pending = _PendingBatch(self._generation)
+            self._pending[queue_key] = pending
+            pending.requests.append(request)
+            self.kernel.spawn(
+                self._linger_flush(broker, uri, service, operation, pending),
+            )
+        else:
+            pending.requests.append(request)
+            if len(pending.requests) >= self.config.batch_max:
+                del self._pending[queue_key]
+                await self._flush(broker, uri, service, operation, pending)
+        await request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.value, request.coalesced
+
+    async def _linger_flush(
+        self,
+        broker: ServiceBroker,
+        uri: str,
+        service: str,
+        operation: str,
+        pending: _PendingBatch,
+    ) -> None:
+        await self.kernel.sleep(self.config.batch_linger)
+        queue_key = (uri, operation)
+        current = self._pending.get(queue_key)
+        if current is not pending or current.generation != pending.generation:
+            return  # already flushed by the size trigger
+        del self._pending[queue_key]
+        await self._flush(broker, uri, service, operation, pending)
+
+    async def _flush(
+        self,
+        broker: ServiceBroker,
+        uri: str,
+        service: str,
+        operation: str,
+        pending: _PendingBatch,
+    ) -> None:
+        requests = pending.requests
+        coalesced = len(requests) >= 2
+        if coalesced:
+            self.stats.batches += 1
+            self.stats.batched_calls += len(requests)
+        for request in requests:
+            request.coalesced = coalesced
+        try:
+            if coalesced:
+                await broker.call_many(uri, service, operation, requests)
+            else:
+                request = requests[0]
+                try:
+                    request.value = await broker.call(
+                        uri, service, operation, request.arguments,
+                        recorder=request.recorder,
+                        obs=request.obs, obs_span=request.obs_span,
+                    )
+                except BaseException as error:
+                    request.error = error
+        finally:
+            for request in requests:
+                request.done.set()
+
+    # -- memo internals ------------------------------------------------------------
+
+    def _lookup(self, key: Hashable) -> _Entry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expires_at is not None and self.kernel.now() >= entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        expires_at = (
+            self.kernel.now() + self.config.ttl
+            if self.config.ttl is not None
+            else None
+        )
+        self._entries[key] = _Entry(value, expires_at)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate_operation(self, operation_name: str) -> int:
+        """Drop every memoized result of ``operation_name``.
+
+        Wired to ``WSMED.add_replace_listener``: when ``import_wsdl`` or
+        ``register_helping_function`` replaces a definition, results the
+        old provider produced must not serve later queries.  In-flight
+        calls cannot be recalled — they are the same small race window a
+        single query already has between issuing a call and a concurrent
+        re-import.
+        """
+        wanted = operation_name.lower()
+        stale = [key for key in self._entries if key[2].lower() == wanted]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)

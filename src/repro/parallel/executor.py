@@ -42,7 +42,22 @@ class ParallelExecutor:
         self.ctx = ctx
         self.costs = costs or ProcessCosts()
         self.pool_registry = pool_registry
+        # Fingerprints of registry pools this query currently holds —
+        # the acquisition-ordering evidence `lease_or_wait` uses to keep
+        # cross-query pool sharing deadlock-free.
+        self._held_keys: list[int] = []
+        # The registry epoch under which this query's plan is current.
+        # The engine constructs the executor in the same kernel step
+        # that compiled (or fetched) the plan, so a later condemn — a
+        # definition replaced while this query runs — is visible as
+        # registry.epoch moving past this snapshot.
+        self._lease_epoch = pool_registry.epoch if pool_registry is not None else 0
         ctx.parallel_handler = self._handle
+
+    def _build_pool(self, node: PlanNode, ctx: ExecutionContext) -> ChildPool:
+        if isinstance(node, FFApplyNode):
+            return FFPool(ctx, node.plan_function, self.costs, node.fanout)
+        return AFFPool(ctx, node.plan_function, self.costs, node.params)
 
     def _pool_for(self, node: PlanNode, ctx: ExecutionContext) -> ChildPool:
         if not isinstance(node, (FFApplyNode, AFFApplyNode)):
@@ -60,19 +75,43 @@ class ParallelExecutor:
         if registry is not None:
             pool = registry.lease(node, self.costs, ctx)
         if pool is None:
-            if isinstance(node, FFApplyNode):
-                pool = FFPool(ctx, node.plan_function, self.costs, node.fanout)
-            else:
-                pool = AFFPool(ctx, node.plan_function, self.costs, node.params)
+            pool = self._build_pool(node, ctx)
             if registry is not None:
-                registry.register(node, self.costs, pool)
+                registry.register(node, self.costs, pool, epoch=self._lease_epoch)
+        ctx.pools[node.node_id] = pool
+        return pool
+
+    async def _acquire_pool(
+        self, node: PlanNode, ctx: ExecutionContext
+    ) -> ChildPool:
+        """Like :meth:`_pool_for`, but may wait for a busy warm tree.
+
+        Engaged only when the registry's ``share_pools`` is on (the
+        sharing engine); every other configuration takes the synchronous
+        seed-identical path.
+        """
+        registry = self.pool_registry if ctx is self.ctx else None
+        if registry is None or not registry.share_pools:
+            return self._pool_for(node, ctx)
+        if not isinstance(node, (FFApplyNode, AFFApplyNode)):
+            raise PlanError(f"not a parallel operator: {node.label()}")
+        pool = ctx.pools.get(node.node_id)
+        if pool is not None:
+            return pool
+        pool, key = await registry.lease_or_wait(
+            node, self.costs, ctx, self._held_keys
+        )
+        if pool is None:
+            pool = self._build_pool(node, ctx)
+            registry.register(node, self.costs, pool, epoch=self._lease_epoch)
+        self._held_keys.append(key)
         ctx.pools[node.node_id] = pool
         return pool
 
     async def _handle(
         self, node: PlanNode, source: AsyncIterator[tuple], ctx: ExecutionContext
     ) -> AsyncIterator[tuple]:
-        pool = self._pool_for(node, ctx)
+        pool = await self._acquire_pool(node, ctx)
         async for row in pool.run(source):
             yield row
 
@@ -98,4 +137,5 @@ class ParallelExecutor:
                     self.pool_registry.release(pool)
                 else:
                     await pool.close()
+            self._held_keys.clear()
         return rows

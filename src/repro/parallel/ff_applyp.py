@@ -713,6 +713,7 @@ class ChildPool:
         child_ctx._name_counter = self.ctx._name_counter
         child_ctx.obs = self.ctx.obs
         child_ctx.obs_span = self.ctx.obs_span
+        child_ctx.shared = self.ctx.shared
         if child_ctx.cache is not None:
             child_ctx.cache.stats = CacheStats()
             self.ctx.cache_registry.append(child_ctx.cache)

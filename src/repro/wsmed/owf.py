@@ -168,7 +168,11 @@ class OperationWrapper:
         A cache hit (or a collapse onto an in-flight identical call) skips
         the broker entirely and is recorded as a ``cache_hit`` /
         ``cache_collapse`` trace event instead of a ``service_call``, so
-        traces distinguish real round trips from avoided ones.
+        traces distinguish real round trips from avoided ones.  Under a
+        sharing engine (``ctx.shared``), a per-process miss consults the
+        engine's shared tier next; a call it serves is recorded as
+        ``shared_hit``/``shared_wait``, and a real round trip that rode a
+        cross-query batch carries ``coalesced=True``.
         """
         obs = ctx.obs
         ws_span = -1
@@ -182,9 +186,12 @@ class OperationWrapper:
                 operation=self.name,
                 service=self.document.service_name,
             )
-        try:
-            if ctx.cache is None:
-                out = await ctx.broker.call(
+        shared = ctx.shared
+        shared_cell: list = []
+
+        if shared is None:
+            def transport():
+                return ctx.broker.call(
                     self.document.uri,
                     self.document.service_name,
                     self.name,
@@ -193,6 +200,24 @@ class OperationWrapper:
                     obs=obs if obs.enabled else None,
                     obs_span=ws_span,
                 )
+        else:
+            async def transport():
+                value, shared_outcome, coalesced = await shared.call(
+                    ctx.broker,
+                    self.document.uri,
+                    self.document.service_name,
+                    self.name,
+                    coerced,
+                    recorder=ctx.call_recorder,
+                    obs=obs if obs.enabled else None,
+                    obs_span=ws_span,
+                )
+                shared_cell.append((shared_outcome, coalesced))
+                return value
+
+        try:
+            if ctx.cache is None:
+                out = await transport()
                 outcome = MISS
             else:
                 out, outcome = await ctx.cache.call(
@@ -202,37 +227,46 @@ class OperationWrapper:
                         self.name,
                         tuple(coerced),
                     ),
-                    lambda: ctx.broker.call(
-                        self.document.uri,
-                        self.document.service_name,
-                        self.name,
-                        coerced,
-                        recorder=ctx.call_recorder,
-                        obs=obs if obs.enabled else None,
-                        obs_span=ws_span,
-                    ),
+                    transport,
                 )
         except BaseException as error:
             if ws_span != -1:
                 obs.finish(ws_span, at=ctx.kernel.now(), error=str(error))
             raise
-        if ws_span != -1:
-            obs.finish(ws_span, at=ctx.kernel.now(), outcome=str(outcome))
-        if outcome == MISS:
-            ctx.trace.record(
-                ctx.kernel.now(),
-                "service_call",
-                process=ctx.process_name,
-                operation=self.name,
-                duration=ctx.kernel.now() - started,
-            )
-        else:
+        shared_outcome, coalesced = shared_cell[-1] if shared_cell else (None, False)
+        if outcome != MISS:
+            # Served by this process's own cache; the shared tier was
+            # never consulted (HIT) or is attributed to the leader only
+            # (COLLAPSED), so nothing shared to record here.
+            if ws_span != -1:
+                obs.finish(ws_span, at=ctx.kernel.now(), outcome=str(outcome))
             ctx.trace.record(
                 ctx.kernel.now(),
                 f"cache_{outcome}",
                 process=ctx.process_name,
                 operation=self.name,
             )
+        elif shared_outcome is not None and shared_outcome != MISS:
+            # The engine's shared tier answered: no broker round trip.
+            if ws_span != -1:
+                obs.finish(ws_span, at=ctx.kernel.now(), outcome=shared_outcome)
+            ctx.trace.record(
+                ctx.kernel.now(),
+                shared_outcome,
+                process=ctx.process_name,
+                operation=self.name,
+            )
+        else:
+            if ws_span != -1:
+                obs.finish(ws_span, at=ctx.kernel.now(), outcome=str(outcome))
+            data = dict(
+                process=ctx.process_name,
+                operation=self.name,
+                duration=ctx.kernel.now() - started,
+            )
+            if coalesced:
+                data["coalesced"] = True
+            ctx.trace.record(ctx.kernel.now(), "service_call", **data)
         return out
 
     def _flatten(

@@ -193,6 +193,12 @@ class QueryResult:
             registry.counter("cache.expirations").inc(cache.expirations)
             registry.counter("cache.calls_avoided").inc(cache.calls_avoided)
             registry.gauge("cache.hit_rate").set(cache.hit_rate)
+            # Engine-level sharing tier, attributed to this query (the
+            # per-process counters above never include these, so the
+            # numbers add without double counting).
+            registry.counter("cache.shared_hits").inc(cache.shared_hits)
+            registry.counter("cache.shared_waits").inc(cache.shared_waits)
+            registry.counter("cache.coalesced_calls").inc(cache.coalesced)
 
         messages = self.message_stats
         registry.counter("messages.total").inc(messages.total_messages)
@@ -281,7 +287,7 @@ class QueryResult:
     def _render_cache(self, registry: MetricsRegistry) -> str:
         if not registry.value("cache.enabled"):
             return "call cache: off"
-        return (
+        line = (
             f"call cache: {int(registry.value('cache.hits'))} hits, "
             f"{int(registry.value('cache.misses'))} misses, "
             f"{int(registry.value('cache.collapsed'))} collapsed, "
@@ -290,6 +296,16 @@ class QueryResult:
             f"({registry.value('cache.hit_rate'):.0%} hit rate, "
             f"{int(registry.value('cache.calls_avoided'))} calls avoided)"
         )
+        shared_hits = int(registry.value("cache.shared_hits"))
+        shared_waits = int(registry.value("cache.shared_waits"))
+        coalesced = int(registry.value("cache.coalesced_calls"))
+        if shared_hits or shared_waits or coalesced:
+            line += (
+                f"\nshared tier: {shared_hits} shared hits, "
+                f"{shared_waits} single-flight waits, "
+                f"{coalesced} calls coalesced into cross-query batches"
+            )
+        return line
 
     def _render_batch(self, registry: MetricsRegistry) -> str:
         if not self.message_stats.any():
