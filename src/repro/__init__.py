@@ -67,6 +67,20 @@ Where  gs.State = gi.USState and
        gp.ToPlace = 'USAF Academy'
 """
 
+
+def __getattr__(name: str):
+    # Lazy: the multi-process kernel and the HTTP front end sit above the
+    # operator layers that import this package during initialization.
+    if name == "ProcessKernel":
+        from repro.runtime.multiprocess import ProcessKernel
+
+        return ProcessKernel
+    if name == "QueryServer":
+        from repro.serve import QueryServer
+
+        return QueryServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AdaptationParams",
     "CacheConfig",
@@ -76,7 +90,9 @@ __all__ = [
     "FaultStats",
     "FanoutVector",
     "AsyncioKernel",
+    "ProcessKernel",
     "SimKernel",
+    "QueryServer",
     "GeoConfig",
     "GeoDatabase",
     "ServiceRegistry",

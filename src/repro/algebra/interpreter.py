@@ -103,6 +103,12 @@ class ExecutionContext:
     # query root on the coordinator, the per-call span inside a child).
     obs: NullRecorder = NULL_RECORDER
     obs_span: int = -1
+    # Remote-placement hook (repro.parallel.placement.Placement), set by
+    # a kernel that shards child processes across OS workers.  None — the
+    # default everywhere outside a ProcessKernel — keeps spawning local
+    # and the execution fingerprint seed-identical.  Typed loosely
+    # because the placement layer sits above this module.
+    placement: Optional[object] = None
 
     def next_process_name(self) -> str:
         self._name_counter[0] += 1

@@ -1,9 +1,15 @@
-"""Command-line front end: one-shot queries and an interactive shell.
+"""Command-line front end: one-shot queries, an interactive shell, and
+the HTTP server.
 
 One-shot::
 
     python -m repro --query "SELECT gs.Name FROM GetAllStates gs LIMIT 3"
     python -m repro --query "$SQL" --mode parallel --fanouts 5,4 --tree
+    python -m repro --query "$SQL" --kernel process --workers 4
+
+Server::
+
+    python -m repro serve --port 8080 --kernel process --workers 4
 
 Interactive::
 
@@ -23,6 +29,7 @@ critical_path, engine); the former ``\\cache``/``\\batch``/``\\faults``/
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from dataclasses import replace
 from typing import IO
@@ -32,6 +39,7 @@ from repro.cache import CacheConfig
 from repro.engine import QueryEngine, ShareConfig
 from repro.obs import TraceRecorder
 from repro.parallel.faults import FaultInjection
+from repro.runtime.base import Kernel
 from repro.util.errors import ReproError
 from repro.wsmed.results import REPORT_SECTIONS, QueryResult
 from repro.wsmed.system import WSMED
@@ -82,6 +90,7 @@ class Shell:
         on_error: str | None = None,
         engine: QueryEngine | None = None,
         trace_out: str | None = None,
+        kernel: Kernel | None = None,
     ) -> None:
         self.wsmed = wsmed
         self.out = out
@@ -89,6 +98,9 @@ class Shell:
         # reuse compiled plans and child-process trees across statements
         # instead of cold-starting per query (see repro.engine).
         self.engine = engine
+        # Explicit execution kernel for the engineless path (--kernel
+        # asyncio/process without --engine); the engine owns its own.
+        self.kernel = kernel
         self.mode = mode
         self.fanouts = fanouts
         self.adaptation = AdaptationParams()
@@ -129,6 +141,8 @@ class Shell:
             kwargs["faults"] = self.fault_injection
         if self.trace_out is not None:
             kwargs["obs"] = TraceRecorder()
+        if self.engine is None and self.kernel is not None:
+            kwargs["kernel"] = self.kernel
         runner = self.engine.sql if self.engine is not None else self.wsmed.sql
         result = runner(
             sql,
@@ -491,19 +505,154 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="trace the query and write a Chrome trace-event file "
         "(open in Perfetto: https://ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--kernel",
+        default="sim",
+        choices=("sim", "asyncio", "process"),
+        help="execution kernel: sim (virtual time, the default), asyncio "
+        "(real time), or process (child pools sharded across OS worker "
+        "processes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="OS worker processes for --kernel process (default 4)",
+    )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="serve SQL over HTTP against a resident query engine "
+        "(POST /sql, GET /stats, GET /healthz; see repro.serve)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listening port (0 binds an ephemeral port; default 8080)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="asyncio",
+        choices=("asyncio", "process"),
+        help="execution kernel (the simulated kernel cannot host a real "
+        "socket server); default asyncio",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="OS worker processes for --kernel process (default 4)",
+    )
+    parser.add_argument(
+        "--profile", default="paper", choices=("paper", "fast", "uncontended")
+    )
+    parser.add_argument(
+        "--share",
+        action="store_true",
+        help="share call results and pools across concurrent requests",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default="traces",
+        metavar="DIR",
+        help='where per-request Chrome traces land ("trace": true requests)',
+    )
+    return parser
+
+
+def _build_kernel(name: str, workers: int) -> Kernel | None:
+    """``--kernel`` to kernel; ``None`` keeps the seed default (sim)."""
+    if name == "process":
+        from repro.runtime.multiprocess import ProcessKernel
+
+        return ProcessKernel(workers=workers)
+    if name == "asyncio":
+        from repro.runtime.realtime import AsyncioKernel
+
+        return AsyncioKernel(resident=True)
+    return None
+
+
+def serve_main(argv: list[str], out: IO[str]) -> int:
+    """``python -m repro serve ...``: run the HTTP front end."""
+    import signal
+
+    from repro.serve import QueryServer
+
+    arguments = build_serve_parser().parse_args(argv)
+    kernel = _build_kernel(arguments.kernel, arguments.workers)
+    wsmed = WSMED(profile=arguments.profile)
+    wsmed.import_all()
+    with kernel:
+        engine = QueryEngine(
+            wsmed,
+            kernel=kernel,
+            share=ShareConfig(enabled=True) if arguments.share else None,
+        )
+        server = QueryServer(
+            engine,
+            host=arguments.host,
+            port=arguments.port,
+            trace_dir=arguments.trace_dir,
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            print(
+                f"serving on http://{server.host}:{server.port} "
+                f"({arguments.kernel} kernel"
+                + (
+                    f", {arguments.workers} workers"
+                    if arguments.kernel == "process"
+                    else ""
+                )
+                + ") — Ctrl-C to stop",
+                file=out,
+                flush=True,
+            )
+            await server.run()
+
+        # Graceful stop on SIGTERM/SIGINT (supervisors send TERM; a
+        # shell-backgrounded server inherits SIGINT as ignored, so an
+        # explicit handler is needed either way): the accept loop winds
+        # down, then the engine and kernel tear down in order.
+        def _request_stop(signum, frame) -> None:
+            print("shutting down", file=out, flush=True)
+            server.stop()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+        try:
+            kernel.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            engine.close()
+    return 0
 
 
 def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     out = out or sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        return serve_main(argv[1:], out)
     arguments = build_argument_parser().parse_args(argv)
     wsmed = WSMED(profile=arguments.profile)
     wsmed.import_all()
     fanouts = _parse_fanouts(arguments.fanouts) if arguments.fanouts else None
+    kernel = _build_kernel(arguments.kernel, arguments.workers)
     engine = None
     if arguments.engine or arguments.share:
         engine = QueryEngine(
             wsmed,
+            kernel=kernel,
             share=ShareConfig(enabled=True) if arguments.share else None,
         )
     shell = Shell(
@@ -516,6 +665,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         on_error=arguments.on_error,
         engine=engine,
         trace_out=arguments.trace_out,
+        kernel=kernel,
     )
     if arguments.batch:
         if arguments.batch.strip().lower() == "adaptive":
@@ -530,25 +680,28 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
                     file=out,
                 )
                 return 1
-    try:
-        if arguments.query is None:
-            shell.repl(sys.stdin)
-            return 0
+    # `with kernel:` (Kernel.__enter__/__exit__) guarantees the worker
+    # fleet / event loop is torn down even when the query raises.
+    with kernel if kernel is not None else contextlib.nullcontext():
         try:
-            if arguments.explain:
-                shell.explain(arguments.query)
-            else:
-                shell.run_sql(arguments.query)
-                if arguments.tree:
-                    print(shell.last_result.process_tree(), file=out)
-                if arguments.summary:
-                    print(shell.last_result.summary(), file=out)
-                if arguments.stats:
-                    print(shell.last_result.report(), file=out)
-        except ReproError as error:
-            print(f"error: {error}", file=out)
-            return 1
-        return 0
-    finally:
-        if engine is not None:
-            engine.close()
+            if arguments.query is None:
+                shell.repl(sys.stdin)
+                return 0
+            try:
+                if arguments.explain:
+                    shell.explain(arguments.query)
+                else:
+                    shell.run_sql(arguments.query)
+                    if arguments.tree:
+                        print(shell.last_result.process_tree(), file=out)
+                    if arguments.summary:
+                        print(shell.last_result.summary(), file=out)
+                    if arguments.stats:
+                        print(shell.last_result.report(), file=out)
+            except ReproError as error:
+                print(f"error: {error}", file=out)
+                return 1
+            return 0
+        finally:
+            if engine is not None:
+                engine.close()

@@ -189,6 +189,7 @@ class QueryEngine:
         self.broker = wsmed.registry.bind(
             self.kernel, seed=wsmed.seed, fault_rate=fault_rate
         )
+        self._fault_rate = fault_rate
         self.max_concurrency = max_concurrency
         self.plan_cache = PlanCache(plan_cache_size)
         self.pool_registry = PoolRegistry(max_idle_pools)
@@ -252,6 +253,12 @@ class QueryEngine:
         compilation entirely).
         """
         return self.kernel.run(self._admitted(sql_text, **kwargs))
+
+    async def sql_async(self, sql_text: str, **kwargs) -> QueryResult:
+        """Coroutine form of :meth:`sql` for callers already running
+        *inside* the resident kernel (e.g. the HTTP front end in
+        :mod:`repro.serve`, whose accept loop owns ``kernel.run``)."""
+        return await self._admitted(sql_text, **kwargs)
 
     def sql_many(self, queries, **common) -> list[QueryResult]:
         """Run several queries concurrently on the one kernel.
@@ -322,6 +329,18 @@ class QueryEngine:
         )
         config = cache if cache is not None else self.wsmed.cache_config
         leased_cache = self._lease_coordinator_cache(ctx, config)
+        attach_placement = getattr(self.kernel, "attach_placement", None)
+        if attach_placement is not None:
+            # Multi-process kernel: pool children land in OS workers; the
+            # PoolRegistry lease cycle then keeps warm *processes* across
+            # queries (rebind reaches into the workers).
+            attach_placement(
+                ctx,
+                functions=self.wsmed.functions,
+                registry=self.wsmed.registry,
+                seed=self.wsmed.seed,
+                fault_rate=self._fault_rate,
+            )
         executor = ParallelExecutor(
             ctx, effective_costs, pool_registry=self.pool_registry
         )

@@ -28,6 +28,12 @@ class AtomicType:
     def __str__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        # Several call sites compare atoms by identity (`atom is REAL`),
+        # so unpickling — e.g. a plan function shipped to a worker
+        # process — must yield the module singletons, not copies.
+        return (_restore_atomic, (self.name,))
+
     def accepts(self, value: Any) -> bool:
         if self.name == "Charstring":
             return isinstance(value, str)
@@ -46,6 +52,14 @@ INTEGER = AtomicType("Integer")
 BOOLEAN = AtomicType("Boolean")
 
 _ATOMS = {t.name: t for t in (CHARSTRING, REAL, INTEGER, BOOLEAN)}
+
+
+def _restore_atomic(name: str) -> AtomicType:
+    """Unpickle hook: map an atom name back to its interned singleton."""
+    atom = _ATOMS.get(name)
+    if atom is not None:
+        return atom
+    return AtomicType(name)
 
 
 def atomic(name: str) -> AtomicType:

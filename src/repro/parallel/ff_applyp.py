@@ -135,10 +135,28 @@ class ChildPool:
 
         The parent pays the per-child shipping cost serially; children
         start up and install concurrently ("ships in parallel").
+
+        With a placement layer attached (``ctx.placement``, set by a
+        multi-process kernel) the child runs inside an OS worker: its
+        downlink/handle are remote proxies and ``ctx`` stays ``None``
+        (the real context lives in the worker), but every pool-side
+        protocol step below is identical.
         """
         kernel = self.ctx.kernel
+        placement = self.ctx.placement
         for _ in range(count):
             name = self.ctx.next_process_name()
+            if placement is not None:
+                endpoints, handle = placement.spawn_child(self, name)
+                child = _Child(
+                    endpoints=endpoints,
+                    handle=handle,
+                    added_by_adaptation=adaptive,
+                )
+                self._finish_spawn(child, adaptive=adaptive)
+                await kernel.sleep(self.costs.ship_function)
+                self._ship_function(child, adaptive=adaptive)
+                continue
             endpoints = ChildEndpoints(
                 name=name,
                 downlink=kernel.channel(
@@ -162,23 +180,34 @@ class ChildPool:
                 added_by_adaptation=adaptive,
                 ctx=child_ctx,
             )
-            self.children.append(child)
-            self._by_name[name] = child
-            self.total_spawned += 1
-            kernel.spawn(self._watch_child(name, handle), name=f"{name}-watch")
+            self._finish_spawn(child, adaptive=adaptive)
             await kernel.sleep(self.costs.ship_function)
-            endpoints.downlink.send(
-                ShipPlanFunction(self._plan_function_dict, span=self._inv_span)
-            )
-            self.ctx.trace.record(
-                kernel.now(),
-                "spawn",
-                parent=self.ctx.process_name,
-                process=name,
-                plan_function=self.plan_function.name,
-                adaptive=adaptive,
-            )
-            self._make_idle(child)
+            self._ship_function(child, adaptive=adaptive)
+
+    def _finish_spawn(self, child: _Child, *, adaptive: bool) -> None:
+        """Pool bookkeeping for a freshly spawned (local or remote) child."""
+        name = child.endpoints.name
+        self.children.append(child)
+        self._by_name[name] = child
+        self.total_spawned += 1
+        self.ctx.kernel.spawn(
+            self._watch_child(name, child.handle), name=f"{name}-watch"
+        )
+
+    def _ship_function(self, child: _Child, *, adaptive: bool) -> None:
+        """Ship the plan function and make the child available for work."""
+        child.endpoints.downlink.send(
+            ShipPlanFunction(self._plan_function_dict, span=self._inv_span)
+        )
+        self.ctx.trace.record(
+            self.ctx.kernel.now(),
+            "spawn",
+            parent=self.ctx.process_name,
+            process=child.endpoints.name,
+            plan_function=self.plan_function.name,
+            adaptive=adaptive,
+        )
+        self._make_idle(child)
 
     async def _watch_child(self, name: str, handle: ProcessHandle) -> None:
         """Death watcher: report an unexpected child exit to the inbox.
@@ -699,6 +728,11 @@ class ChildPool:
         self.ctx = ctx
         for child in self.children:
             self._rebind_child(child)
+        if ctx.placement is not None:
+            # Remote children (ctx is None here) are re-homed inside
+            # their workers: new retry policy, fresh cache counters,
+            # fresh span recorder.
+            ctx.placement.rebind_pool(self)
         self.on_rebind()
 
     def _rebind_child(self, child: _Child) -> None:

@@ -9,11 +9,25 @@ The query-process engine is written once as coroutines against the
   virtual clock reproduces the paper's timing behaviour.
 * :class:`~repro.runtime.realtime.AsyncioKernel` — real ``asyncio`` with
   (scaled) wall-clock sleeps, demonstrating genuine concurrent execution.
+* :class:`~repro.runtime.multiprocess.ProcessKernel` — the asyncio kernel
+  plus a fleet of OS worker processes; child query processes are placed
+  in the workers (real CPU parallelism), coordinated over pickle-framed
+  pipes (:mod:`repro.runtime.wire`, :mod:`repro.runtime.workers`).
 """
 
 from repro.runtime.base import Channel, Event, Kernel, ProcessHandle, Semaphore
 from repro.runtime.realtime import AsyncioKernel
 from repro.runtime.simulated import SimKernel
+
+
+def __getattr__(name: str):
+    # Imported lazily: ProcessKernel pulls in the placement layer, which
+    # sits above the operator modules that themselves import this package.
+    if name == "ProcessKernel":
+        from repro.runtime.multiprocess import ProcessKernel
+
+        return ProcessKernel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Channel",
@@ -22,5 +36,6 @@ __all__ = [
     "ProcessHandle",
     "Semaphore",
     "AsyncioKernel",
+    "ProcessKernel",
     "SimKernel",
 ]

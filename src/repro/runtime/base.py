@@ -131,7 +131,16 @@ class Kernel(ABC):
         call, so the default is a no-op.  Resident kernels (constructed
         with ``resident=True``) keep parked tasks — e.g. warm child
         processes — alive between ``run`` calls and only reap them here.
+        Idempotent: calling it twice (or on a kernel that never ran) is
+        safe, which is what lets the context-manager protocol below and
+        explicit ``close()`` paths coexist.
         """
+
+    def __enter__(self) -> "Kernel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     async def gather(self, *coros: Coroutine[Any, Any, Any]) -> list[Any]:
         """Run coroutines concurrently and return their results in order."""

@@ -1,0 +1,741 @@
+"""The OS worker-pool runtime of the multi-process kernel.
+
+Two halves live here:
+
+* :func:`worker_entry` + :class:`_WorkerRuntime` — the code that runs
+  *inside* each worker process.  A worker builds its own resident
+  :class:`~repro.runtime.realtime.AsyncioKernel` (clock-anchored to the
+  parent's model time), rehydrates the shipped function registry, and then
+  serves ``SpawnChild`` requests by running the unchanged
+  :func:`~repro.parallel.process.child_main` coroutine per child.  Web
+  service calls go through a :class:`_BrokerProxy` back to the parent
+  (central accounting) unless the registry itself was shipped
+  (``local_services`` — CPU-bound workloads).  Trace events, finished
+  spans and cache counters are streamed back as they happen.
+
+* :class:`WorkerPool` — the parent-side manager: spawns/forks the worker
+  processes, pumps each worker's pipe on a dedicated reader thread into
+  the parent's event loop, heartbeats the fleet, and respawns dead
+  workers (a SIGKILLed worker surfaces as pipe EOF within milliseconds;
+  a *hung* worker is caught by missed heartbeats).  Message routing and
+  child bookkeeping live one level up, in
+  :mod:`repro.parallel.placement`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Any, Callable, Optional
+
+from repro.cache import CacheStats
+from repro.parallel.process import ChildEndpoints, child_main
+from repro.runtime import base
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.wire import (
+    AnchorClock,
+    BrokerRequest,
+    BrokerResponse,
+    CacheSnapshot,
+    CancelChild,
+    ChildExited,
+    FromChild,
+    Ping,
+    Pong,
+    RebindChild,
+    RegisterFunctions,
+    RegisterServices,
+    ShutdownWorker,
+    SpawnChild,
+    SpanBatch,
+    ToChild,
+    TraceEvents,
+    WorkerReady,
+)
+from repro.obs.spans import NULL_RECORDER, TraceRecorder
+from repro.util.errors import KernelError, ReproError, ServiceFault
+from repro.util.trace import TraceLog
+
+
+# -- code shipping ------------------------------------------------------------
+
+
+def serialize_functions(registry) -> RegisterFunctions:
+    """Pickle a function registry for shipping; unpicklables become stubs.
+
+    Catalog-view closures (and any user lambda) cannot travel; they are
+    named in ``stubs`` and the worker registers poisoned stand-ins so an
+    accidental invocation fails with a clear error instead of a crash.
+    """
+    shippable = []
+    stubs = []
+    for function in registry.all():
+        try:
+            pickle.dumps(function)
+        except Exception:
+            stubs.append(function.name)
+            continue
+        shippable.append(function)
+    return RegisterFunctions(pickle.dumps(shippable), tuple(stubs))
+
+
+def serialize_services(registry, *, seed: int, fault_rate: float = 0.0) -> RegisterServices:
+    """Pickle a service registry so workers can bind a local broker."""
+    return RegisterServices(pickle.dumps(registry), seed, fault_rate)
+
+
+class _UnshippedFunction:
+    """Stand-in for a function whose implementation could not be pickled."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, *args: Any) -> Any:
+        from repro.fdb.functions import FunctionError
+
+        raise FunctionError(
+            f"function {self.name!r} was not shipped to this worker process "
+            "(its implementation is not picklable); it can only run in the "
+            "coordinator"
+        )
+
+
+# -- worker-side runtime ------------------------------------------------------
+
+
+class _WorkerRecorder(TraceRecorder):
+    """Child-side span recorder with a disjoint id space.
+
+    Ids start at ``span_base`` so folding the spans into the parent
+    query's store can never collide with parent-allocated ids, while
+    parent links carried on downlink messages (``ParamTuple.span``...)
+    stay valid verbatim.
+    """
+
+    def __init__(self, span_base: int) -> None:
+        super().__init__()
+        self._next_id = span_base
+        self._shipped: set[int] = set()
+
+    def drain(self) -> list:
+        """Finished spans not yet shipped to the parent."""
+        out = [
+            span
+            for span in self.store
+            if span.finished and span.id not in self._shipped
+        ]
+        for span in out:
+            self._shipped.add(span.id)
+        return out
+
+
+class _ForwardingTrace(TraceLog):
+    """Trace log whose events stream straight back to the parent.
+
+    Nothing is kept locally — a warm worker would otherwise accumulate
+    every query's events forever; the parent folds the forwarded rows
+    into the owning query's real :class:`TraceLog`.
+    """
+
+    def __init__(self, runtime: "_WorkerRuntime", child_id: int) -> None:
+        super().__init__()
+        self._runtime = runtime
+        self._child_id = child_id
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        self._runtime.send(
+            TraceEvents(self._child_id, ((time, kind, tuple(data.items())),))
+        )
+
+
+class _UplinkForwarder(base.Channel):
+    """Child-side uplink: forwards protocol messages over the pipe.
+
+    The parent delivers them into the pool's real inbox channel, which is
+    where the (single) uplink ``message_latency`` is applied — the same
+    one application a local child gets.  Piggybacks a flush of pending
+    spans/cache counters so per-call telemetry arrives no later than the
+    message it describes.
+    """
+
+    def __init__(self, runtime: "_WorkerRuntime", slot: "_ChildSlot") -> None:
+        self._runtime = runtime
+        self._slot = slot
+
+    def send(self, message: Any) -> None:
+        self._slot.flush()
+        self._runtime.send(FromChild(self._slot.child_id, message))
+
+    async def recv(self) -> Any:
+        raise KernelError("worker uplink proxy is send-only")
+
+    def pending(self) -> int:
+        return 0
+
+
+class _BrokerProxy:
+    """Duck-typed ``ServiceBroker.call`` that defers to the parent.
+
+    Keeps capacity semaphores, per-query statistics, caching/sharing
+    tiers and fault accounting centralized in the coordinator.  The
+    worker-side retry loop (``ctx.retries``) still works: faults come
+    back typed, with their ``retriable`` flag intact.
+    """
+
+    def __init__(self, runtime: "_WorkerRuntime", child_id: int) -> None:
+        self._runtime = runtime
+        self._child_id = child_id
+
+    async def call(
+        self,
+        uri: str,
+        service: str,
+        operation: str,
+        arguments: list,
+        *,
+        recorder=None,
+        obs=None,
+        obs_span: int = -1,
+    ):
+        runtime = self._runtime
+        request_id = next(runtime.request_ids)
+        future = asyncio.get_running_loop().create_future()
+        runtime.broker_futures[request_id] = future
+        runtime.send(
+            BrokerRequest(
+                request_id,
+                self._child_id,
+                uri,
+                service,
+                operation,
+                tuple(arguments),
+                obs_span=obs_span if obs is not None else -1,
+            )
+        )
+        reply: BrokerResponse = await future
+        if reply.error is not None:
+            kind, message, retriable = reply.error
+            if kind == "fault":
+                raise ServiceFault(message, retriable=retriable)
+            raise ReproError(message)
+        return reply.payload
+
+
+class _ChildSlot:
+    """Worker-side bookkeeping of one resident child query process."""
+
+    def __init__(self, runtime: "_WorkerRuntime", spec: SpawnChild) -> None:
+        from repro.algebra.interpreter import ExecutionContext
+        from repro.parallel.executor import ParallelExecutor
+
+        self.runtime = runtime
+        self.child_id = spec.child_id
+        self.costs = spec.costs
+        self._last_cache_counters: Optional[tuple] = None
+        broker = runtime.local_broker
+        if broker is None:
+            broker = _BrokerProxy(runtime, spec.child_id)
+        self.ctx = ExecutionContext(
+            kernel=runtime.kernel,
+            broker=broker,
+            functions=runtime.functions,
+            trace=_ForwardingTrace(runtime, spec.child_id),
+            retries=spec.retries,
+            retry_backoff=spec.retry_backoff,
+            process_name=spec.name,
+            # Worker-local (display-only) name space for nested children,
+            # offset far from the coordinator's counter so names stay
+            # unique across the whole distributed tree.
+            _name_counter=[(spec.child_id + 1) * 100_000],
+        )
+        if spec.tracing:
+            self.ctx.obs = _WorkerRecorder(spec.span_base)
+        self.ctx.install_cache(spec.cache_config)
+        # Nested FF/AFF operators inside the shipped plan function run
+        # worker-locally under this executor.
+        ParallelExecutor(self.ctx, spec.costs)
+        self.endpoints = ChildEndpoints(
+            name=spec.name,
+            downlink=runtime.kernel.channel(
+                f"{spec.name}/downlink", latency=spec.costs.message_latency
+            ),
+            uplink=_UplinkForwarder(runtime, self),
+        )
+        self.handle: Optional[base.ProcessHandle] = None
+
+    def flush(self) -> None:
+        """Ship finished spans and changed cache counters to the parent."""
+        recorder = self.ctx.obs
+        if isinstance(recorder, _WorkerRecorder):
+            spans = recorder.drain()
+            if spans:
+                self.runtime.send(
+                    SpanBatch(self.child_id, pickle.dumps(spans))
+                )
+        cache = self.ctx.cache
+        if cache is not None:
+            counters = tuple(
+                sorted(
+                    (name, value)
+                    for name, value in vars(cache.stats).items()
+                    if isinstance(value, (int, float)) and not isinstance(value, bool)
+                )
+            )
+            if counters != self._last_cache_counters:
+                self._last_cache_counters = counters
+                self.runtime.send(CacheSnapshot(self.child_id, counters))
+
+    def rebind(self, spec: RebindChild) -> None:
+        """Re-home this warm child into a new query (remote rebind half)."""
+        self.ctx.retries = spec.retries
+        self.ctx.retry_backoff = spec.retry_backoff
+        self.ctx.obs = (
+            _WorkerRecorder(spec.span_base) if spec.tracing else NULL_RECORDER
+        )
+        self.ctx.obs_span = -1
+        if self.ctx.cache is not None:
+            self.ctx.cache.stats = CacheStats()
+            self._last_cache_counters = None
+        for pool in self.ctx.pools.values():
+            pool.rebind(self.ctx)
+
+    async def close_nested(self) -> None:
+        for pool in list(self.ctx.pools.values()):
+            await pool.close()
+
+
+class _WorkerRuntime:
+    """Everything that runs inside one worker process."""
+
+    def __init__(self, conn, worker_id: int) -> None:
+        self.conn = conn
+        self.worker_id = worker_id
+        self.kernel: Optional[AsyncioKernel] = None
+        self.functions = None  # FunctionRegistry, set by RegisterFunctions
+        self.local_broker = None  # set by RegisterServices
+        self.children: dict[int, _ChildSlot] = {}
+        self.broker_futures: dict[int, asyncio.Future] = {}
+        self.request_ids = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._send_failed = False
+
+    # -- plumbing ---------------------------------------------------------
+
+    def send(self, envelope: Any) -> None:
+        if self._send_failed:
+            return
+        try:
+            self.conn.send(envelope)
+        except (OSError, ValueError):
+            # Parent is gone; nothing left to report to.
+            self._send_failed = True
+            if self._stop is not None:
+                self._stop.set()
+
+    def run(self) -> None:
+        anchor = self.conn.recv()
+        if not isinstance(anchor, AnchorClock):
+            raise KernelError(f"worker expected AnchorClock, got {anchor!r}")
+        self.kernel = AsyncioKernel(
+            time_scale=anchor.time_scale, resident=True
+        )
+        try:
+            self.kernel.run(self._main(anchor))
+        finally:
+            self.kernel.shutdown()
+
+    async def _main(self, anchor: AnchorClock) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        # Re-anchor so now() continues the parent's model clock: both
+        # sides are wall clocks scaled by the same factor, so one origin
+        # alignment keeps the domains coherent (modulo scheduling jitter,
+        # which real distribution has anyway).
+        self.kernel._start = loop.time() - anchor.model_now * anchor.time_scale
+        self._stop = asyncio.Event()
+        reader = threading.Thread(
+            target=self._read_loop, name=f"worker{self.worker_id}-reader", daemon=True
+        )
+        reader.start()
+        self.send(WorkerReady(self.worker_id, os.getpid()))
+        await self._stop.wait()
+        for future in self.broker_futures.values():
+            if not future.done():
+                future.set_exception(ReproError("worker shutting down"))
+        self.broker_futures.clear()
+        for slot in list(self.children.values()):
+            if slot.handle is not None:
+                slot.handle.cancel()
+        for slot in list(self.children.values()):
+            if slot.handle is not None:
+                try:
+                    await slot.handle.join()
+                except BaseException:
+                    pass
+        self.children.clear()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                self._loop.call_soon_threadsafe(self._handle_safe, message)
+            except RuntimeError:  # loop closed under us
+                return
+        try:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            pass
+
+    def _handle_safe(self, message: Any) -> None:
+        try:
+            self._handle(message)
+        except Exception as error:  # noqa: BLE001 - a worker must not die silently
+            self.send(
+                TraceEvents(
+                    -1,
+                    (
+                        (
+                            self.kernel.now(),
+                            "worker_error",
+                            (("worker", self.worker_id), ("error", str(error))),
+                        ),
+                    ),
+                )
+            )
+
+    # -- envelope handlers -------------------------------------------------
+
+    def _handle(self, message: Any) -> None:
+        if isinstance(message, ToChild):
+            slot = self.children.get(message.child_id)
+            if slot is not None:
+                slot.endpoints.downlink.send(message.payload)
+        elif isinstance(message, BrokerResponse):
+            future = self.broker_futures.pop(message.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(message)
+        elif isinstance(message, SpawnChild):
+            self._spawn_child(message)
+        elif isinstance(message, RebindChild):
+            slot = self.children.get(message.child_id)
+            if slot is not None:
+                slot.rebind(message)
+        elif isinstance(message, CancelChild):
+            slot = self.children.get(message.child_id)
+            if slot is not None and slot.handle is not None:
+                slot.handle.cancel()
+        elif isinstance(message, Ping):
+            self.send(Pong(message.seq, self.worker_id))
+        elif isinstance(message, RegisterFunctions):
+            self._register_functions(message)
+        elif isinstance(message, RegisterServices):
+            registry = pickle.loads(message.payload)
+            self.local_broker = registry.bind(
+                self.kernel, seed=message.seed, fault_rate=message.fault_rate
+            )
+        elif isinstance(message, ShutdownWorker):
+            self._stop.set()
+
+    def _register_functions(self, message: RegisterFunctions) -> None:
+        from repro.fdb.functions import FunctionDef, FunctionKind, FunctionRegistry
+        from repro.fdb.types import TupleType
+
+        registry = FunctionRegistry()
+        for function in pickle.loads(message.payload):
+            registry.replace(function)
+        for name in message.stubs:
+            registry.replace(
+                FunctionDef(
+                    name=name,
+                    kind=FunctionKind.HELPING,
+                    parameters=(),
+                    result=TupleType(()),
+                    implementation=_UnshippedFunction(name),
+                    documentation="unshippable implementation (worker stub)",
+                )
+            )
+        self.functions = registry
+        # Children spawned before a re-registration keep their old
+        # registry snapshot — same semantics as a pool condemned and
+        # respawned by the engine on function replacement.
+
+    def _spawn_child(self, spec: SpawnChild) -> None:
+        try:
+            slot = _ChildSlot(self, spec)
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            self.send(
+                ChildExited(spec.child_id, f"spawn failed: {error}")
+            )
+            return
+        self.children[spec.child_id] = slot
+        slot.handle = self.kernel.spawn(
+            self._run_child(slot), name=spec.name
+        )
+
+    async def _run_child(self, slot: _ChildSlot) -> None:
+        error: Optional[str] = None
+        try:
+            await child_main(
+                slot.ctx, slot.costs, slot.endpoints, on_exit=slot.close_nested
+            )
+        except asyncio.CancelledError:
+            error = "cancelled"
+        except BaseException as exc:  # noqa: BLE001 - ship the crash upward
+            text = str(exc)
+            error = f"{type(exc).__name__}: {text}" if text else type(exc).__name__
+        finally:
+            self.children.pop(slot.child_id, None)
+            slot.flush()
+            self.send(ChildExited(slot.child_id, error))
+
+
+def worker_entry(conn, worker_id: int) -> None:
+    """OS-process entry point (``multiprocessing.Process`` target)."""
+    try:
+        _WorkerRuntime(conn, worker_id).run()
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- parent-side pool ---------------------------------------------------------
+
+
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.ready = False
+        self.last_pong = 0.0
+        self.missed_pings = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+class WorkerPool:
+    """Spawns, feeds, heartbeats and respawns the OS worker fleet.
+
+    The pool is transport only: every non-heartbeat envelope a worker
+    sends is handed to ``on_message``; a death (pipe EOF, dead process,
+    missed heartbeats) is announced via ``on_worker_death`` *before*
+    the slot is respawned, so the placement layer can fail the dead
+    worker's children over while replacement capacity comes up.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        time_scale: float,
+        clock: Callable[[], float],
+        start_method: Optional[str] = None,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 3,
+    ) -> None:
+        if size < 1:
+            raise KernelError(f"worker pool size must be >= 1, got {size}")
+        self.size = size
+        self.time_scale = time_scale
+        self._clock = clock
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise KernelError(
+                f"start method {start_method!r} unavailable; have {methods}"
+            )
+        self._mp = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.workers: list[WorkerHandle] = []
+        self.on_message: Optional[Callable[[WorkerHandle, Any], None]] = None
+        self.on_worker_death: Optional[Callable[[WorkerHandle], None]] = None
+        self._registrations: list[Any] = []  # replayed to every (re)spawned worker
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._ping_seq = itertools.count(1)
+        self._started = False
+        self._closed = False
+        self.respawned_workers = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def register(self, envelope: Any) -> None:
+        """Ship a registration (functions/services) to all workers, now and
+        on every future respawn."""
+        self._registrations = [
+            e for e in self._registrations if type(e) is not type(envelope)
+        ]
+        self._registrations.append(envelope)
+        if self._started:
+            for worker in self.workers:
+                if worker.alive:
+                    self._send(worker, envelope)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def ensure_started(self) -> None:
+        """Start the fleet; must run inside the kernel's event loop."""
+        if self._started or self._closed:
+            return
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.size):
+            self.workers.append(self._launch(index))
+        self._heartbeat_task = self._loop.create_task(
+            self._heartbeat_loop(), name="worker-heartbeat"
+        )
+
+    def _launch(self, index: int) -> WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=worker_entry,
+            args=(child_conn, index),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = WorkerHandle(index, process, parent_conn)
+        worker.last_pong = self._monotonic()
+        threading.Thread(
+            target=self._read_loop,
+            args=(worker,),
+            name=f"worker{index}-pipe",
+            daemon=True,
+        ).start()
+        self._send(worker, AnchorClock(self._clock(), self.time_scale))
+        for envelope in self._registrations:
+            self._send(worker, envelope)
+        return worker
+
+    @staticmethod
+    def _monotonic() -> float:
+        import time
+
+        return time.monotonic()
+
+    def _read_loop(self, worker: WorkerHandle) -> None:
+        conn = worker.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                self._loop.call_soon_threadsafe(self._dispatch, worker, message)
+            except RuntimeError:
+                return
+        try:
+            self._loop.call_soon_threadsafe(self._worker_died, worker)
+        except RuntimeError:
+            pass
+
+    def _dispatch(self, worker: WorkerHandle, message: Any) -> None:
+        if isinstance(message, Pong):
+            worker.last_pong = self._monotonic()
+            worker.missed_pings = 0
+            return
+        if isinstance(message, WorkerReady):
+            worker.ready = True
+            worker.last_pong = self._monotonic()
+            return
+        if self.on_message is not None:
+            self.on_message(worker, message)
+
+    def _worker_died(self, worker: WorkerHandle) -> None:
+        if self._closed or not worker.alive:
+            return
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if self.on_worker_death is not None:
+            self.on_worker_death(worker)
+        # Respawn the slot so the fleet recovers its capacity; children
+        # that died with the worker have already been failed over by the
+        # placement layer (on_worker_death above).
+        replacement = self._launch(worker.index)
+        self.workers[self.workers.index(worker)] = replacement
+        self.respawned_workers += 1
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.heartbeat_interval)
+            deadline = self.heartbeat_interval * self.heartbeat_misses
+            for worker in list(self.workers):
+                if not worker.alive:
+                    continue
+                if not worker.process.is_alive():
+                    self._worker_died(worker)
+                    continue
+                if self._monotonic() - worker.last_pong > deadline:
+                    # Hung worker: kill it; the pipe EOF then drives the
+                    # normal death path (fail-over + respawn).
+                    worker.process.terminate()
+                    continue
+                self._send(worker, Ping(next(self._ping_seq)))
+
+    # -- sending -----------------------------------------------------------
+
+    def _send(self, worker: WorkerHandle, envelope: Any) -> bool:
+        if not worker.alive:
+            return False
+        try:
+            worker.conn.send(envelope)
+            return True
+        except (OSError, ValueError):
+            self._worker_died(worker)
+            return False
+
+    def send(self, worker: WorkerHandle, envelope: Any) -> bool:
+        return self._send(worker, envelope)
+
+    def alive_workers(self) -> list[WorkerHandle]:
+        return [worker for worker in self.workers if worker.alive]
+
+    def pids(self) -> list[Optional[int]]:
+        return [worker.pid for worker in self.workers if worker.alive]
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker process.  Idempotent; safe outside the loop."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            if worker.alive:
+                try:
+                    worker.conn.send(ShutdownWorker())
+                except (OSError, ValueError):
+                    pass
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()

@@ -79,6 +79,15 @@ def _default_costs(profile: str) -> ProcessCosts:
     return costs.scaled(0.01) if profile == "fast" else costs
 
 
+def _getzipcode(zipstr: str) -> list[tuple[str]]:
+    """The paper's ``getzipcode`` helping function (Sec. II.B).
+
+    Module-level (not a lambda) so the definition can be pickled into
+    worker processes by the multi-process kernel's code shipping.
+    """
+    return [(code,) for code in zipstr.split(",") if code]
+
+
 class WSMED:
     """The mediator: WSDL import, view generation, query execution."""
 
@@ -115,7 +124,7 @@ class WSMED:
                 "getzipcode",
                 [("zipstr", CHARSTRING)],
                 TupleType((("zipcode", CHARSTRING),)),
-                lambda zipstr: [(code,) for code in zipstr.split(",") if code],
+                _getzipcode,
                 documentation=(
                     "Extracts the set of zip codes from a comma-separated string."
                 ),
@@ -446,6 +455,17 @@ class WSMED:
             retries=retries,
         )
         ctx.install_cache(cache if cache is not None else self.cache_config)
+        attach_placement = getattr(kernel, "attach_placement", None)
+        if attach_placement is not None:
+            # Multi-process kernel: children of FF/AFF pools are placed in
+            # OS worker processes; ship the (current) function registry.
+            attach_placement(
+                ctx,
+                functions=self.functions,
+                registry=self.registry,
+                seed=self.seed,
+                fault_rate=fault_rate,
+            )
         executor = ParallelExecutor(ctx, effective_costs)
 
         async def timed() -> tuple[list[tuple], float]:

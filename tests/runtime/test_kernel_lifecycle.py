@@ -1,0 +1,90 @@
+"""Kernel shutdown contract: idempotent, and usable as a context manager.
+
+Every kernel must survive ``shutdown()`` being called twice (the engine,
+the CLI and test teardown all close defensively) and must work under
+``with kernel:`` — the multi-process kernel made this part of the ABC
+because a leaked worker fleet outlives the interpreter.
+"""
+
+import pytest
+
+from repro.runtime.realtime import AsyncioKernel
+from repro.runtime.simulated import SimKernel
+
+
+def kernels():
+    return [SimKernel(), SimKernel(resident=True), AsyncioKernel(), AsyncioKernel(resident=True)]
+
+
+@pytest.mark.parametrize("kernel", kernels(), ids=lambda k: f"{type(k).__name__}-{'resident' if k.resident else 'oneshot'}")
+def test_shutdown_is_idempotent(kernel) -> None:
+    async def main():
+        return kernel.now()
+
+    kernel.run(main())
+    kernel.shutdown()
+    kernel.shutdown()  # must be a no-op, not an error
+
+
+@pytest.mark.parametrize("kernel", kernels(), ids=lambda k: f"{type(k).__name__}-{'resident' if k.resident else 'oneshot'}")
+def test_context_manager_runs_and_shuts_down(kernel) -> None:
+    async def main():
+        await kernel.sleep(0.001)
+        return 42
+
+    with kernel as entered:
+        assert entered is kernel
+        assert kernel.run(main()) == 42
+    kernel.shutdown()  # after-exit shutdown is still a no-op
+
+
+def test_context_manager_shuts_down_on_error() -> None:
+    kernel = AsyncioKernel(resident=True)
+
+    async def main():
+        return 1
+
+    with pytest.raises(RuntimeError):
+        with kernel:
+            kernel.run(main())
+            raise RuntimeError("boom")
+    kernel.shutdown()
+
+
+def test_resident_asyncio_kernel_reopens_after_shutdown() -> None:
+    """Shutdown ends one residency; the next ``run`` starts a fresh loop
+    (with a fresh clock epoch), it does not raise."""
+    kernel = AsyncioKernel(resident=True)
+
+    async def main():
+        return kernel.now()
+
+    kernel.run(main())
+    kernel.shutdown()
+    assert kernel.run(main()) >= 0.0
+    kernel.shutdown()
+
+
+def test_resident_kernel_parks_tasks_across_runs() -> None:
+    """The property shutdown must not break: a resident kernel keeps
+    spawned processes alive between top-level ``run`` calls."""
+    kernel = AsyncioKernel(resident=True)
+    seen = []
+
+    async def background(event):
+        await event.wait()
+        seen.append("woke")
+
+    async def first():
+        event = kernel.event()
+        kernel.spawn(background(event), name="bg")
+        return event
+
+    async def second(event):
+        event.set()
+        await kernel.sleep(5)
+
+    with kernel:
+        event = kernel.run(first())
+        kernel.run(second(event))
+    assert seen == ["woke"]
