@@ -25,7 +25,15 @@ The package layers (see DESIGN.md for the full inventory):
 
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
-from repro.engine import EngineStats, QueryEngine, ShareConfig, SharedStats
+from repro.engine import (
+    AdmissionConfig,
+    AdmissionRejected,
+    EngineClosed,
+    EngineStats,
+    QueryEngine,
+    ShareConfig,
+    SharedStats,
+)
 from repro.obs import (
     CriticalPathReport,
     MetricsRegistry,
@@ -100,6 +108,9 @@ __all__ = [
     "ReproError",
     "QueryResult",
     "QueryEngine",
+    "AdmissionConfig",
+    "AdmissionRejected",
+    "EngineClosed",
     "EngineStats",
     "ShareConfig",
     "SharedStats",

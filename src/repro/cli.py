@@ -564,6 +564,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help='where per-request Chrome traces land ("trace": true requests)',
     )
+    parser.add_argument(
+        "--admission",
+        default="static",
+        choices=("static", "adaptive"),
+        help="admission policy: static (the max-concurrency semaphore, "
+        "default) or adaptive (online capacity probing, tenant fair "
+        "queueing, deadline shedding; see repro.engine.admission)",
+    )
+    parser.add_argument(
+        "--admission-threshold",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="p50 inflation vs the solo baseline that marks a concurrency "
+        "level unsafe under --admission adaptive (default 1.5)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-query deadline in model milliseconds; a query "
+        "the measured service rate cannot finish in time is shed with "
+        "HTTP 429 + Retry-After (adaptive admission only)",
+    )
     return parser
 
 
@@ -590,11 +615,21 @@ def serve_main(argv: list[str], out: IO[str]) -> int:
     kernel = _build_kernel(arguments.kernel, arguments.workers)
     wsmed = WSMED(profile=arguments.profile)
     wsmed.import_all()
+    if arguments.admission == "adaptive":
+        from repro.engine.admission import AdmissionConfig
+
+        admission: str | AdmissionConfig = AdmissionConfig(
+            threshold=arguments.admission_threshold,
+            default_deadline_ms=arguments.deadline_ms,
+        )
+    else:
+        admission = "static"
     with kernel:
         engine = QueryEngine(
             wsmed,
             kernel=kernel,
             share=ShareConfig(enabled=True) if arguments.share else None,
+            admission=admission,
         )
         server = QueryServer(
             engine,

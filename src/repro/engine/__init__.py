@@ -1,6 +1,13 @@
 """Resident query engine: plan cache, warm pools, multi-query admission."""
 
-from repro.engine.engine import EngineStats, QueryEngine
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionStats,
+    CapacityController,
+)
+from repro.engine.engine import EngineClosed, EngineStats, QueryEngine
 from repro.engine.plan_cache import (
     CompiledPlan,
     PlanCache,
@@ -19,7 +26,13 @@ from repro.engine.shared import (
 __all__ = [
     "SHARED_HIT",
     "SHARED_WAIT",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionStats",
+    "CapacityController",
     "CompiledPlan",
+    "EngineClosed",
     "EngineStats",
     "PlanCache",
     "PlanCacheStats",

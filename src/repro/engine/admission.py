@@ -1,0 +1,556 @@
+"""Capacity-aware admission control for the resident query engine.
+
+The paper's adaptive operators tune fanout *inside* one query; nothing in
+the seed bounds how many queries the engine admits at once beyond a static
+semaphore.  But concurrency past the safe level inflates worst-query p50
+latency by 50-85% (the querytorque parallel-capacity sweep in SNIPPETS.md),
+so a mediator serving real traffic needs the closed loop this module
+provides:
+
+* :class:`CapacityController` — the *online* version of the offline
+  capacity sweep: completed queries feed per-concurrency-level latency
+  histograms (:class:`repro.obs.metrics.Histogram`), and a feedback
+  control law in the shape of Gounaris et al.'s web-service concurrency
+  controllers raises the admission limit additively while measured p50
+  inflation versus the single-query baseline stays under the threshold,
+  and backs off multiplicatively (with hysteresis: a level that tripped
+  is not re-probed until several clean control windows have passed) when
+  it does not.
+
+* :class:`AdmissionController` — the engine-facing facade: weighted fair
+  queueing across tenants (virtual-time tags, so a heavy tenant's backlog
+  cannot starve a light one), deadline-based load shedding (queries whose
+  ``deadline_ms`` cannot be met at the measured service rate are rejected
+  *up front* with :class:`AdmissionRejected`, which the HTTP front end
+  maps to ``429`` + ``Retry-After``), and AFF fanout caps derived from
+  measured broker queue contention.
+
+Everything here runs on kernel primitives only, so adaptive admission is
+bit-for-bit deterministic under :class:`~repro.runtime.simulated.SimKernel`
+and works unchanged under the real-time kernels.  The engine's default
+(``admission="static"``) never constructs any of this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import ReproError
+
+#: Metric names the controller maintains (all in the engine's registry).
+LATENCY_METRIC = "admission.latency"  # histogram, labelled {"level": N}
+ADMITTED_METRIC = "admission.admitted"  # counter, labelled {"tenant": name}
+SHED_METRIC = "admission.shed"  # counter, labelled {"tenant": name}
+
+
+class AdmissionRejected(ReproError):
+    """A query was shed at admission (deadline unmeetable at current rates).
+
+    ``retry_after`` is the controller's service-rate estimate of when a
+    retry could be admitted, in *model seconds*; the HTTP front end turns
+    it into a ``Retry-After`` header on a ``429`` response.
+    """
+
+    def __init__(self, message: str, *, retry_after: float, tenant: str) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning of the adaptive admission controller.
+
+    ``threshold``        p50 inflation versus the single-query baseline
+                         that marks a concurrency level unsafe (1.5 =
+                         "worst-query p50 may grow 50%").
+    ``min_concurrency``  floor of the admission limit (also the starting
+                         level, so the controller first gathers its
+                         single-query baseline).
+    ``max_concurrency``  ceiling of the limit; ``None`` uses the engine's
+                         ``max_concurrency``.
+    ``baseline_samples`` completed solo queries required before the
+                         controller starts raising the limit.
+    ``probe_queries``    completions at the current limit per control
+                         decision (the online sweep's "rounds").
+    ``window``           samples per level the p50 is computed over.
+    ``raise_margin``     raise the limit only while inflation is under
+                         ``threshold * raise_margin`` (the hysteresis
+                         dead band between raising and backing off).
+    ``reprobe_windows``  clean control windows required before a level
+                         that tripped the threshold may be probed again.
+    ``shed``             enable deadline-based load shedding.
+    ``default_deadline_ms``  deadline applied to queries that carry none
+                         (model milliseconds; ``None`` = no deadline).
+    ``ewma_alpha``       smoothing of the per-query service-time estimate
+                         that prices queue delay for shedding.
+    ``fanout_caps``      enable AFF fanout caps from broker contention.
+    ``contention_ratio`` mean queue wait over mean server time above
+                         which an endpoint counts as contended.
+    ``min_fanout_cap``   never cap adaptive fanout below this.
+    ``tenant_weights``   static weighted-fair-queueing weights; tenants
+                         not listed get weight 1.0.
+    """
+
+    threshold: float = 1.5
+    min_concurrency: int = 1
+    max_concurrency: int | None = None
+    baseline_samples: int = 2
+    probe_queries: int = 3
+    window: int = 32
+    raise_margin: float = 0.9
+    reprobe_windows: int = 4
+    shed: bool = True
+    default_deadline_ms: float | None = None
+    ewma_alpha: float = 0.3
+    fanout_caps: bool = True
+    contention_ratio: float = 0.5
+    min_fanout_cap: int = 2
+    tenant_weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise ReproError(
+                f"admission threshold must be > 1.0, got {self.threshold}"
+            )
+        if self.min_concurrency < 1:
+            raise ReproError(
+                f"min_concurrency must be >= 1, got {self.min_concurrency}"
+            )
+        if (
+            self.max_concurrency is not None
+            and self.max_concurrency < self.min_concurrency
+        ):
+            raise ReproError(
+                f"max_concurrency {self.max_concurrency} is below "
+                f"min_concurrency {self.min_concurrency}"
+            )
+        if self.baseline_samples < 1 or self.probe_queries < 1:
+            raise ReproError("baseline_samples and probe_queries must be >= 1")
+        if not 0.0 < self.raise_margin <= 1.0:
+            raise ReproError(
+                f"raise_margin must be in (0, 1], got {self.raise_margin}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ReproError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.min_fanout_cap < 1:
+            raise ReproError(
+                f"min_fanout_cap must be >= 1, got {self.min_fanout_cap}"
+            )
+        for tenant, weight in self.tenant_weights.items():
+            if weight <= 0:
+                raise ReproError(
+                    f"tenant {tenant!r} weight must be positive, got {weight}"
+                )
+
+
+@dataclass
+class AdmissionStats:
+    """Point-in-time snapshot of the admission controller."""
+
+    policy: str
+    limit: int
+    ceiling: int
+    baseline_p50: float
+    inflation: float
+    ewma_service: float
+    admitted: int
+    shed: int
+    queued: int
+    raises: int
+    backoffs: int
+    fanout_cap: int  # 0 = uncapped
+    tenants: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class CapacityController:
+    """Online capacity probe: the offline p50-inflation sweep, closed-loop.
+
+    Completed queries are observed at the concurrency *level* they were
+    admitted at (how many queries were in flight, including themselves).
+    Each level's latencies land in one :class:`Histogram` of ``metrics``,
+    so the measured sweep is inspectable exactly like the offline table
+    in SNIPPETS.md (:meth:`sweep_table`).  The control law:
+
+    * the baseline is the p50 of level-1 (solo) samples;
+    * every ``probe_queries`` completions at the current limit, compare
+      the limit's windowed p50 to the baseline;
+    * inflation under ``threshold * raise_margin`` raises the limit by 1
+      (additive increase) up to the ceiling;
+    * inflation over ``threshold`` halves the limit (multiplicative
+      decrease) and marks the tripped level unsafe — it is re-probed
+      only after ``reprobe_windows`` consecutive clean windows
+      (hysteresis, so a borderline level cannot make the limit flap).
+    """
+
+    def __init__(
+        self, config: AdmissionConfig, ceiling: int, metrics: MetricsRegistry
+    ) -> None:
+        self.config = config
+        self.ceiling = max(ceiling, config.min_concurrency)
+        self.metrics = metrics
+        self.limit = config.min_concurrency
+        self.raises = 0
+        self.backoffs = 0
+        self.last_inflation = 0.0
+        self._at_limit = 0  # completions at the current limit since change
+        self._unsafe: int | None = None  # lowest level known to trip
+        self._clean_windows = 0
+
+    # -- measurements ------------------------------------------------------------
+
+    def _histogram(self, level: int):
+        return self.metrics.histogram(LATENCY_METRIC, {"level": str(level)})
+
+    def observe(self, level: int, latency: float) -> None:
+        self._histogram(level).observe(latency)
+        if level == self.limit:
+            self._at_limit += 1
+
+    def baseline_p50(self) -> float:
+        baseline = self._histogram(1)
+        if baseline.count < self.config.baseline_samples:
+            return 0.0
+        return baseline.tail_percentile(0.5, self.config.window)
+
+    def level_p50(self, level: int) -> float:
+        histogram = self._histogram(level)
+        if not histogram.count:
+            return 0.0
+        return histogram.tail_percentile(0.5, self.config.window)
+
+    def sweep_table(self) -> list[dict[str, float]]:
+        """The measured sweep, one row per probed level (snippet-style)."""
+        baseline = self.baseline_p50()
+        rows = []
+        for level in range(1, self.ceiling + 1):
+            histogram = self._histogram(level)
+            if not histogram.count:
+                continue
+            p50 = histogram.tail_percentile(0.5, self.config.window)
+            rows.append(
+                {
+                    "level": level,
+                    "samples": histogram.count,
+                    "p50": p50,
+                    "inflation": p50 / baseline if baseline else 0.0,
+                }
+            )
+        return rows
+
+    # -- the control law ---------------------------------------------------------
+
+    def control_step(self) -> None:
+        """One feedback decision; called after every query completion."""
+        baseline = self.baseline_p50()
+        if not baseline:
+            return  # still gathering the solo baseline
+        if self._at_limit < self.config.probe_queries:
+            return  # not enough evidence at this limit yet
+        self._at_limit = 0
+        inflation = self.level_p50(self.limit) / baseline
+        self.last_inflation = inflation
+        if inflation > self.config.threshold:
+            self._unsafe = min(self._unsafe or self.limit, self.limit)
+            self._clean_windows = 0
+            backed_off = max(self.config.min_concurrency, self.limit // 2)
+            if backed_off != self.limit:
+                self.limit = backed_off
+                self.backoffs += 1
+            return
+        self._clean_windows += 1
+        if inflation > self.config.threshold * self.config.raise_margin:
+            return  # dead band: safe, but too close to the edge to raise
+        if self.limit >= self.ceiling:
+            return
+        next_level = self.limit + 1
+        if self._unsafe is not None and next_level >= self._unsafe:
+            if self._clean_windows < self.config.reprobe_windows:
+                return  # hysteresis: wait before re-probing a tripped level
+            self._unsafe = None  # forgive — service rates may have changed
+        self._clean_windows = 0
+        self.limit = next_level
+        self.raises += 1
+
+
+class _TenantState:
+    __slots__ = ("name", "weight", "finish", "admitted", "rejected", "queued")
+
+    def __init__(self, name: str, weight: float) -> None:
+        self.name = name
+        self.weight = weight
+        self.finish = 0.0  # virtual finish tag of the last request
+        self.admitted = 0
+        self.rejected = 0
+        self.queued = 0
+
+
+class _Waiter:
+    __slots__ = (
+        "tenant",
+        "tag",
+        "seq",
+        "event",
+        "ticket",
+        "deadline_ms",
+        "submitted_at",
+        "rejection",
+    )
+
+    def __init__(self, tenant: _TenantState, tag: float, seq: int, event) -> None:
+        self.tenant = tenant
+        self.tag = tag
+        self.seq = seq
+        self.event = event
+        self.ticket: Ticket | None = None
+        self.deadline_ms: float | None = None
+        self.submitted_at = 0.0
+        self.rejection: AdmissionRejected | None = None
+
+
+@dataclass
+class Ticket:
+    """Proof of admission; hand it back to :meth:`release` when done."""
+
+    tenant: str
+    level: int  # queries in flight at admission, including this one
+
+
+class AdmissionController:
+    """Admission facade: capacity limit + tenant WFQ + deadline shedding.
+
+    ``admit`` either returns a :class:`Ticket` (possibly after queueing)
+    or raises :class:`AdmissionRejected`.  ``release`` must run exactly
+    once per ticket — it feeds the latency sample to the capacity
+    controller and hands the freed slot to the fairest waiter.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        config: AdmissionConfig,
+        *,
+        ceiling: int,
+        broker=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.broker = broker
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        effective_ceiling = (
+            config.max_concurrency if config.max_concurrency is not None else ceiling
+        )
+        self.capacity = CapacityController(config, effective_ceiling, self.metrics)
+        self._tenants: dict[str, _TenantState] = {}
+        self._queue: list[_Waiter] = []
+        self._active = 0
+        self._vtime = 0.0
+        self._seq = 0
+        self._ewma: float | None = None  # per-query service time estimate
+        self.admitted = 0
+        self.shed = 0
+        # Admission order of the most recent grants, newest last; fairness
+        # tests assert interleaving on it.
+        self.admission_log: deque[str] = deque(maxlen=256)
+
+    # -- tenants -----------------------------------------------------------------
+
+    def _tenant(self, name: str, weight: float | None) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(
+                name, weight or self.config.tenant_weights.get(name, 1.0)
+            )
+            self._tenants[name] = state
+        elif weight is not None:
+            state.weight = weight
+        return state
+
+    # -- admission ---------------------------------------------------------------
+
+    @property
+    def limit(self) -> int:
+        return self.capacity.limit
+
+    def estimated_wait(self) -> float:
+        """Expected queue delay for a request arriving now (model seconds)."""
+        if self._ewma is None:
+            return 0.0
+        backlog = len(self._queue) + max(0, self._active - self.limit + 1)
+        return self._ewma * backlog / max(1, self.limit)
+
+    def _shed_check(self, tenant: _TenantState, deadline: float | None) -> None:
+        if not self.config.shed or deadline is None or self._ewma is None:
+            return
+        est_wait = self.estimated_wait()
+        if deadline / 1000.0 < est_wait + self._ewma:
+            tenant.rejected += 1
+            self.shed += 1
+            self.metrics.counter(SHED_METRIC, {"tenant": tenant.name}).inc()
+            retry_after = max(est_wait, self._ewma)
+            raise AdmissionRejected(
+                f"deadline {deadline:g}ms cannot be met: estimated queue wait "
+                f"{est_wait * 1000.0:.0f}ms + service {self._ewma * 1000.0:.0f}ms "
+                f"at admission limit {self.limit}",
+                retry_after=retry_after,
+                tenant=tenant.name,
+            )
+
+    def _grant(self, tenant: _TenantState, tag: float) -> Ticket:
+        self._vtime = max(self._vtime, tag)
+        self._active += 1
+        tenant.admitted += 1
+        self.admitted += 1
+        self.admission_log.append(tenant.name)
+        self.metrics.counter(ADMITTED_METRIC, {"tenant": tenant.name}).inc()
+        return Ticket(tenant=tenant.name, level=self._active)
+
+    async def admit(
+        self,
+        tenant: str = "default",
+        *,
+        deadline_ms: float | None = None,
+        weight: float | None = None,
+    ) -> Ticket:
+        state = self._tenant(tenant, weight)
+        deadline = (
+            self.config.default_deadline_ms if deadline_ms is None else deadline_ms
+        )
+        self._shed_check(state, deadline)
+        tag = max(self._vtime, state.finish) + 1.0 / state.weight
+        state.finish = tag
+        if self._active < self.limit and not self._queue:
+            return self._grant(state, tag)
+        self._seq += 1
+        waiter = _Waiter(state, tag, self._seq, self.kernel.event())
+        waiter.deadline_ms = deadline
+        waiter.submitted_at = self.kernel.now()
+        self._queue.append(waiter)
+        state.queued += 1
+        try:
+            await waiter.event.wait()
+        finally:
+            state.queued -= 1
+            if (
+                waiter.ticket is None
+                and waiter.rejection is None
+                and waiter in self._queue
+            ):
+                # Cancelled while queued: withdraw so _pump never grants
+                # a slot to a dead waiter.
+                self._queue.remove(waiter)
+        if waiter.rejection is not None:
+            raise waiter.rejection
+        assert waiter.ticket is not None
+        return waiter.ticket
+
+    def release(self, ticket: Ticket, latency: float) -> None:
+        self._active -= 1
+        alpha = self.config.ewma_alpha
+        self._ewma = (
+            latency
+            if self._ewma is None
+            else alpha * latency + (1.0 - alpha) * self._ewma
+        )
+        self.capacity.observe(ticket.level, latency)
+        self.capacity.control_step()
+        self._pump()
+
+    def _pump(self) -> None:
+        """Hand freed slots to waiters in weighted-fair (tag, seq) order.
+
+        A waiter whose deadline the queue has already eaten — remaining
+        budget below one estimated service time — is shed here instead of
+        granted, still strictly *before* execution (the deadline check at
+        arrival can only price the queue it can see; the EWMA may not
+        even exist yet when a burst arrives on an idle controller).
+        """
+        while self._active < self.limit and self._queue:
+            waiter = min(self._queue, key=lambda entry: (entry.tag, entry.seq))
+            self._queue.remove(waiter)
+            if (
+                self.config.shed
+                and waiter.deadline_ms is not None
+                and self._ewma is not None
+            ):
+                waited = self.kernel.now() - waiter.submitted_at
+                remaining = waiter.deadline_ms / 1000.0 - waited
+                if remaining < self._ewma:
+                    waiter.tenant.rejected += 1
+                    self.shed += 1
+                    self.metrics.counter(
+                        SHED_METRIC, {"tenant": waiter.tenant.name}
+                    ).inc()
+                    waiter.rejection = AdmissionRejected(
+                        f"deadline {waiter.deadline_ms:g}ms cannot be met: "
+                        f"{waited * 1000.0:.0f}ms spent queued, service "
+                        f"needs {self._ewma * 1000.0:.0f}ms",
+                        retry_after=self._ewma,
+                        tenant=waiter.tenant.name,
+                    )
+                    waiter.event.set()
+                    continue
+            waiter.ticket = self._grant(waiter.tenant, waiter.tag)
+            waiter.event.set()
+
+    # -- AFF fanout caps ---------------------------------------------------------
+
+    def fanout_cap(self) -> int | None:
+        """Fanout ceiling from measured broker queue contention, or None.
+
+        An endpoint whose mean queue wait exceeds ``contention_ratio`` of
+        its mean server time is saturated: dispatching a wider AFF fanout
+        against it only deepens the broker queue (the ``queue`` spans in
+        ``repro.obs`` traces).  The cap allows two in-flight calls per
+        server slot of the most contended endpoint — enough to pipeline
+        the transport, not enough to stack the queue.
+        """
+        if not self.config.fanout_caps or self.broker is None:
+            return None
+        cap: int | None = None
+        for info in self.broker.contention().values():
+            if info["server_time_mean"] <= 0.0:
+                continue
+            ratio = info["queue_wait_mean"] / info["server_time_mean"]
+            if ratio <= self.config.contention_ratio:
+                continue
+            endpoint_cap = max(self.config.min_fanout_cap, 2 * info["capacity"])
+            cap = endpoint_cap if cap is None else min(cap, endpoint_cap)
+        return cap
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> AdmissionStats:
+        cap = self.fanout_cap()
+        return AdmissionStats(
+            policy="adaptive",
+            limit=self.limit,
+            ceiling=self.capacity.ceiling,
+            baseline_p50=self.capacity.baseline_p50(),
+            inflation=self.capacity.last_inflation,
+            ewma_service=self._ewma or 0.0,
+            admitted=self.admitted,
+            shed=self.shed,
+            queued=len(self._queue),
+            raises=self.capacity.raises,
+            backoffs=self.capacity.backoffs,
+            fanout_cap=cap or 0,
+            tenants={
+                state.name: {
+                    "weight": state.weight,
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                    "queued": state.queued,
+                }
+                for state in self._tenants.values()
+            },
+        )

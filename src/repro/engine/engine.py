@@ -41,6 +41,7 @@ from repro.algebra.explain import render_plan
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats, CallCache, aggregate_stats
+from repro.engine.admission import AdmissionConfig, AdmissionController
 from repro.engine.plan_cache import CompiledPlan, PlanCache, plan_dependencies
 from repro.engine.pools import PoolRegistry
 from repro.engine.shared import ShareConfig, SharedCallCache
@@ -56,6 +57,14 @@ from repro.services.broker import CallRecorder
 from repro.util.errors import ReproError
 from repro.wsmed.results import QueryResult
 from repro.wsmed.system import WSMED, ExecutionMode
+
+
+class EngineClosed(ReproError):
+    """The engine was closed; no further queries are admitted.
+
+    A subclass of :class:`ReproError` so existing ``except ReproError``
+    handlers keep working; the HTTP front end maps it to 503 (versus 400
+    for ordinary query errors)."""
 
 
 @dataclass
@@ -91,8 +100,19 @@ class EngineStats:
     batched_calls: int = 0
     pool_lease_waits: int = 0
     shared_pool_leases: int = 0
+    # Capacity-aware admission (repro.engine.admission); policy stays
+    # "static" unless the engine was built with admission="adaptive".
+    admission_policy: str = "static"
+    admission_limit: int = 0
+    admission_shed: int = 0
+    admission_queued: int = 0
+    admission_raises: int = 0
+    admission_backoffs: int = 0
+    admission_baseline_p50: float = 0.0
+    admission_inflation: float = 0.0
+    admission_fanout_cap: int = 0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, object]:
         return dict(self.__dict__)
 
     def report(self) -> str:
@@ -111,6 +131,20 @@ class EngineStats:
             f"{self.pools_closed} closed)",
             f"resident query processes: {self.resident_processes}",
         ]
+        if self.admission_policy != "static":
+            cap = (
+                f"fanout cap {self.admission_fanout_cap}"
+                if self.admission_fanout_cap
+                else "no fanout cap"
+            )
+            lines.append(
+                f"admission: {self.admission_policy} limit "
+                f"{self.admission_limit}/{self.max_concurrency}, "
+                f"{self.admission_shed} shed, {self.admission_queued} queued "
+                f"({self.admission_raises} raises, "
+                f"{self.admission_backoffs} backoffs, p50 inflation "
+                f"{self.admission_inflation:.2f}x, {cap})"
+            )
         if self.sharing:
             lines.append(self.share_report())
         return "\n".join(lines)
@@ -172,6 +206,7 @@ class QueryEngine:
         max_idle_pools: int = 32,
         fault_rate: float = 0.0,
         share: ShareConfig | None = None,
+        admission: str | AdmissionConfig = "static",
     ) -> None:
         if max_concurrency < 1:
             raise ReproError(
@@ -205,7 +240,35 @@ class QueryEngine:
         )
         if self.share is not None and self.share.pools:
             self.pool_registry.share_pools = True
-        self._admission = None  # created lazily inside the kernel
+        # Admission policy.  "static" (the default) is the seed path: a
+        # plain semaphore of max_concurrency permits.  "adaptive" (or an
+        # AdmissionConfig) swaps in the capacity-probing controller of
+        # repro.engine.admission — weighted fair tenant queues, deadline
+        # shedding, AFF fanout caps — with max_concurrency as its ceiling.
+        if isinstance(admission, AdmissionConfig):
+            admission_config: AdmissionConfig | None = admission
+        elif admission == "adaptive":
+            admission_config = AdmissionConfig()
+        elif admission == "static":
+            admission_config = None
+        else:
+            raise ReproError(
+                f'admission must be "static", "adaptive" or an '
+                f"AdmissionConfig, got {admission!r}"
+            )
+        self.admission = (
+            AdmissionController(
+                self.kernel,
+                admission_config,
+                ceiling=max_concurrency,
+                broker=self.broker,
+            )
+            if admission_config is not None
+            else None
+        )
+        self._admission = None  # static semaphore, created lazily inside the kernel
+        self._admission_key: tuple[int, int] | None = None
+        self._kernel_generation = getattr(self.kernel, "generation", 0)
         # One process-name counter for the engine's lifetime: the first
         # query numbers its children q1..qN exactly like the seed, and
         # every later (or concurrent) query continues the sequence, so
@@ -248,7 +311,12 @@ class QueryEngine:
         (``mode``, ``fanouts``, ``adaptation``, ``retries``, ``cache``,
         ``process_costs``, ``on_error``, ``faults``, ``name``, ``obs``) —
         but not ``kernel`` or ``fault_rate``, which are engine-level
-        here.  With ``obs`` a :class:`repro.obs.TraceRecorder`, compile
+        here.  Two admission keywords ride along: ``tenant`` (fair-queue
+        identity, default ``"default"``) and ``deadline_ms`` (model
+        milliseconds; under adaptive admission a query whose deadline the
+        measured service rate cannot meet raises
+        :class:`~repro.engine.admission.AdmissionRejected` up front).
+        Both are accepted and ignored under static admission.  With ``obs`` a :class:`repro.obs.TraceRecorder`, compile
         spans appear only on plan-cache misses (a warm hit skips
         compilation entirely).
         """
@@ -260,14 +328,23 @@ class QueryEngine:
         :mod:`repro.serve`, whose accept loop owns ``kernel.run``)."""
         return await self._admitted(sql_text, **kwargs)
 
-    def sql_many(self, queries, **common) -> list[QueryResult]:
+    def sql_many(
+        self, queries, *, return_exceptions: bool = False, **common
+    ) -> list[QueryResult]:
         """Run several queries concurrently on the one kernel.
 
         ``queries`` is a list of SQL strings, or ``(sql, overrides)``
         pairs where ``overrides`` is a keyword dict merged over
         ``common``.  All queries are admitted through the engine's
-        semaphore (at most ``max_concurrency`` in flight) and results
-        come back in input order.
+        admission policy (the static semaphore by default, the adaptive
+        controller when the engine was built with ``admission=``) and
+        results come back in input order.  Per-query ``tenant`` /
+        ``deadline_ms`` overrides thread through to the admission queue.
+
+        With ``return_exceptions=True`` a failed query — most usefully an
+        :class:`AdmissionRejected` shed by the deadline policy — comes
+        back as the exception object in its slot instead of destroying
+        the whole batch.
         """
         coros = []
         for query in queries:
@@ -276,13 +353,58 @@ class QueryEngine:
             else:
                 sql_text, overrides = query
                 coros.append(self._admitted(sql_text, **{**common, **overrides}))
+        if return_exceptions:
+            coros = [self._shielded(coro) for coro in coros]
         return self.kernel.run(self.kernel.gather(*coros))
+
+    @staticmethod
+    async def _shielded(coro):
+        try:
+            return await coro
+        except Exception as exc:  # noqa: BLE001 — handed to the caller
+            return exc
+
+    def _check_generation(self) -> None:
+        """Drop kernel-bound state after a ``Kernel.shutdown``.
+
+        A shutdown kills every task parked in the kernel — warm child
+        trees, broker queues — and invalidates primitives created in the
+        old run.  An engine reused on the same (restarted) kernel must
+        therefore cold-start: forget warm pools (their processes are
+        dead), coordinator caches (their single-flight events are dead),
+        and the admission semaphore (awaiting it would raise or hang).
+        """
+        generation = getattr(self.kernel, "generation", 0)
+        if generation == self._kernel_generation:
+            return
+        self._kernel_generation = generation
+        self._admission = None
+        self._admission_key = None
+        self.pool_registry.discard_all()
+        self._coordinator_caches.clear()
 
     async def _admitted(self, sql_text: str, **kwargs) -> QueryResult:
         if self._closed:
-            raise ReproError("QueryEngine is closed")
-        if self._admission is None:
+            raise EngineClosed("QueryEngine is closed")
+        self._check_generation()
+        tenant = kwargs.pop("tenant", "default")
+        deadline_ms = kwargs.pop("deadline_ms", None)
+        if self.admission is not None:
+            ticket = await self.admission.admit(
+                tenant, deadline_ms=deadline_ms
+            )
+            self._active += 1
+            self._peak_active = max(self._peak_active, self._active)
+            started = self.kernel.now()
+            try:
+                return await self._execute(sql_text, **kwargs)
+            finally:
+                self._active -= 1
+                self.admission.release(ticket, self.kernel.now() - started)
+        key = (self._kernel_generation, self.max_concurrency)
+        if self._admission is None or self._admission_key != key:
             self._admission = self.kernel.semaphore(self.max_concurrency)
+            self._admission_key = key
         await self._admission.acquire()
         self._active += 1
         self._peak_active = max(self._peak_active, self._active)
@@ -309,6 +431,19 @@ class QueryEngine:
     ) -> QueryResult:
         await self.pool_registry.drain()
         mode = ExecutionMode.of(mode)
+        if self.admission is not None and mode is ExecutionMode.ADAPTIVE:
+            # AFF fanout cap from measured broker queue contention: a
+            # saturated endpoint only queues deeper under wider fanout,
+            # so clamp the adaptation ceiling.  AdaptationParams is part
+            # of the plan-cache fingerprint, so capped and uncapped
+            # compilations never share an entry.
+            cap = self.admission.fanout_cap()
+            if cap is not None:
+                params = adaptation if adaptation is not None else AdaptationParams()
+                if params.max_fanout > cap:
+                    adaptation = _replace(
+                        params, max_fanout=max(cap, params.init_fanout)
+                    )
         recorder = obs if obs is not None else NULL_RECORDER
         compiled = self._compiled(
             sql_text, mode, fanouts, adaptation, name, obs=recorder
@@ -456,6 +591,9 @@ class QueryEngine:
         plan_stats = self.plan_cache.stats
         pool_stats = self.pool_registry.stats
         shared_stats = self.shared.stats if self.shared is not None else None
+        admission_stats = (
+            self.admission.stats() if self.admission is not None else None
+        )
         return EngineStats(
             queries=self._queries,
             active=self._active,
@@ -486,6 +624,21 @@ class QueryEngine:
             batched_calls=shared_stats.batched_calls if shared_stats else 0,
             pool_lease_waits=pool_stats.lease_waits,
             shared_pool_leases=pool_stats.shared_leases,
+            **(
+                {
+                    "admission_policy": admission_stats.policy,
+                    "admission_limit": admission_stats.limit,
+                    "admission_shed": admission_stats.shed,
+                    "admission_queued": admission_stats.queued,
+                    "admission_raises": admission_stats.raises,
+                    "admission_backoffs": admission_stats.backoffs,
+                    "admission_baseline_p50": admission_stats.baseline_p50,
+                    "admission_inflation": admission_stats.inflation,
+                    "admission_fanout_cap": admission_stats.fanout_cap,
+                }
+                if admission_stats is not None
+                else {}
+            ),
         )
 
     # -- shutdown ------------------------------------------------------------------

@@ -83,6 +83,7 @@ class PoolRegistryStats:
     closed: int = 0  # pools actually shut down
     lease_waits: int = 0  # queries that parked for a busy warm tree (sharing on)
     shared_leases: int = 0  # warm leases satisfied after such a wait
+    discarded: int = 0  # pools forgotten without shutdown (kernel already dead)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -94,6 +95,7 @@ class PoolRegistryStats:
             "closed": self.closed,
             "lease_waits": self.lease_waits,
             "shared_leases": self.shared_leases,
+            "discarded": self.discarded,
         }
 
 
@@ -330,6 +332,30 @@ class PoolRegistry:
         self._free.clear()
         self._idle = 0
         await self.drain()
+
+    def discard_all(self) -> None:
+        """Forget every pool without closing it.
+
+        For kernel-generation changes: ``Kernel.shutdown`` already killed
+        the child-process tasks, so the graceful async close of
+        :meth:`close_all` has nothing live to talk to — awaiting it would
+        park on channels nobody serves.  Waiters (sharing mode) are woken
+        so they cold-start on the fresh kernel instead of sleeping on a
+        dead tree's release.  Synchronous on purpose: it runs before the
+        next query enters the kernel.
+        """
+        discarded = self._idle + sum(
+            len(bucket) for bucket in self._leased.values()
+        ) + len(self._doomed)
+        self._free.clear()
+        self._idle = 0
+        self._leased.clear()
+        self._doomed.clear()
+        self.stats.discarded += discarded
+        for waiters in self._waiters.values():
+            for event in waiters:
+                event.set()
+        self._waiters.clear()
 
     # -- introspection ----------------------------------------------------------------
 

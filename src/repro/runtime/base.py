@@ -93,6 +93,14 @@ class Kernel(ABC):
     # the duration of a traced run.
     obs = None
 
+    # Bumped by every ``shutdown`` that actually tears state down.  Kernel
+    # primitives (semaphores, events, channels) die with the world they
+    # were created in; holders that cache one across a shutdown — e.g. the
+    # engine's admission semaphore, the broker's endpoint slots, warm
+    # child pools — key their cache on this counter so a reused kernel
+    # never awaits a primitive bound to the dead run.
+    generation: int = 0
+
     @abstractmethod
     def now(self) -> float:
         """Current time in model seconds."""

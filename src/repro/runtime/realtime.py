@@ -185,3 +185,4 @@ class AsyncioKernel(base.Kernel):
                 asyncio.gather(*pending, return_exceptions=True)
             )
         loop.close()
+        self.generation += 1

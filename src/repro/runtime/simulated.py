@@ -355,6 +355,7 @@ class SimKernel(base.Kernel):
         self._tasks.clear()
         self._parked.clear()
         self._heap.clear()
+        self.generation += 1
 
     def _prune_finished(self) -> None:
         """Forget finished tasks so a resident kernel's lists stay bounded."""

@@ -12,7 +12,13 @@ Protocol (all bodies JSON, all responses either JSON or NDJSON):
          "on_error": "retry",
          "cache": true,              -- or {"max_entries": N, "ttl": T}
          "name": "Query",
-         "trace": false}             -- per-request span tracing
+         "trace": false,             -- per-request span tracing
+         "tenant": "analytics",      -- fair-queue identity (adaptive admission)
+         "deadline_ms": 60000}       -- model-ms deadline; unmeetable -> 429
+
+    Under ``--admission adaptive`` a query shed by the deadline policy
+    gets ``429 Too Many Requests`` with a ``Retry-After`` header (the
+    controller's wait estimate, whole seconds).
 
     Response is ``application/x-ndjson`` streamed as chunked transfer
     encoding: one header line carrying the column names, one line per
@@ -43,11 +49,13 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
 import os
 import re
 from typing import Any, Optional
 
 from repro.cache import CacheConfig
+from repro.engine import AdmissionRejected, EngineClosed
 from repro.obs import TraceRecorder, write_chrome_trace
 from repro.util.errors import ReproError
 
@@ -71,6 +79,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -101,6 +110,9 @@ class QueryServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
         self._trace_ids = itertools.count(1)
+        # Live connection-handler tasks; run() drains them at shutdown so
+        # no query dies mid-NDJSON-stream when the kernel goes down.
+        self._handlers: set[asyncio.Task] = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -116,13 +128,24 @@ class QueryServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def run(self) -> None:
-        """Serve until :meth:`stop` is called; the ``repro serve`` body."""
+        """Serve until :meth:`stop` is called; the ``repro serve`` body.
+
+        Shutdown closes the listener first (no new connections), then
+        waits for in-flight handlers to finish their streams — the caller
+        tears the engine down only after ``run`` returns, so a query that
+        was mid-NDJSON-stream when stop() fired still ends with its
+        trailer and terminating chunk instead of a severed body.
+        """
         await self.start()
         try:
             await self._stop.wait()
         finally:
             self._server.close()
             await self._server.wait_closed()
+            if self._handlers:
+                await asyncio.gather(
+                    *list(self._handlers), return_exceptions=True
+                )
             self._server = None
 
     def stop(self) -> None:
@@ -139,6 +162,9 @@ class QueryServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
             try:
                 method, path, body = await self._read_request(reader)
@@ -167,6 +193,24 @@ class QueryServer:
                     raise _HttpError(404, f"no such endpoint: {path}")
             except _HttpError as error:
                 await self._send_json(writer, error.status, {"error": str(error)})
+            except AdmissionRejected as error:
+                # Load shed: tell the client when a retry could make it.
+                await self._send_json(
+                    writer,
+                    429,
+                    {
+                        "error": str(error),
+                        "tenant": error.tenant,
+                        "retry_after": error.retry_after,
+                    },
+                    headers={
+                        "Retry-After": str(
+                            max(1, math.ceil(error.retry_after))
+                        )
+                    },
+                )
+            except EngineClosed as error:
+                await self._send_json(writer, 503, {"error": str(error)})
             except ReproError as error:
                 await self._send_json(writer, 400, {"error": str(error)})
             except Exception as error:  # noqa: BLE001 - report, keep serving
@@ -176,6 +220,8 @@ class QueryServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -199,7 +245,17 @@ class QueryServer:
             if ":" in line:
                 key, _, value = line.partition(":")
                 headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"malformed Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HttpError(
+                400, f"negative Content-Length: {raw_length!r}"
+            )
         if length > _MAX_BODY:
             raise _HttpError(413, f"request body over {_MAX_BODY} bytes")
         body = await reader.readexactly(length) if length else b""
@@ -209,6 +265,8 @@ class QueryServer:
     # -- endpoints ---------------------------------------------------------
 
     async def _serve_sql(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        if not body:
+            raise _HttpError(400, "POST /sql requires a JSON request body")
         request = self._parse_sql_request(body)
         sql_text = request.pop("sql")
         trace = request.pop("trace", False)
@@ -236,23 +294,50 @@ class QueryServer:
         )
         writer.write(_chunk(self._line({"columns": list(result.columns)})))
         await writer.drain()
-        for index, row in enumerate(result.rows):
-            writer.write(_chunk(self._line(list(row))))
-            if index % 100 == 99:
-                await writer.drain()
-        trailer: dict[str, Any] = {
-            "rows": len(result.rows),
-            "elapsed": result.elapsed,
-            "total_calls": result.total_calls,
-            "mode": result.mode,
-        }
-        if result.cache_stats is not None:
-            trailer["cache"] = result.cache_stats.as_dict()
-        if trace_file is not None:
-            trailer["trace_file"] = trace_file
+        # Past this point the 200 header is on the wire: any failure —
+        # including cancellation when the kernel shuts down mid-stream —
+        # must still end the body with a well-formed error trailer and
+        # the terminating chunk, never a severed stream.
+        sent = 0
+        error_trailer: str | None = None
+        interrupted: BaseException | None = None
+        try:
+            for index, row in enumerate(result.rows):
+                writer.write(_chunk(self._line(list(row))))
+                sent = index + 1
+                if index % 100 == 99:
+                    await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise  # client is gone; there is nobody to finish the body for
+        except BaseException as error:  # noqa: BLE001 - trailer then re-raise
+            error_trailer = (
+                "stream interrupted"
+                if isinstance(error, asyncio.CancelledError)
+                else f"{type(error).__name__}: {error}"
+            )
+            interrupted = error
+        if error_trailer is not None:
+            trailer: dict[str, Any] = {
+                "error": error_trailer,
+                "rows_sent": sent,
+                "rows": len(result.rows),
+            }
+        else:
+            trailer = {
+                "rows": len(result.rows),
+                "elapsed": result.elapsed,
+                "total_calls": result.total_calls,
+                "mode": result.mode,
+            }
+            if result.cache_stats is not None:
+                trailer["cache"] = result.cache_stats.as_dict()
+            if trace_file is not None:
+                trailer["trace_file"] = trace_file
         writer.write(_chunk(self._line(trailer)))
         writer.write(b"0\r\n\r\n")
         await writer.drain()
+        if isinstance(interrupted, asyncio.CancelledError):
+            raise interrupted
 
     @staticmethod
     def _line(payload: Any) -> bytes:
@@ -276,10 +361,25 @@ class QueryServer:
             "on_error",
             "name",
             "trace",
+            "tenant",
+            "deadline_ms",
         }
         unknown = set(request) - allowed
         if unknown:
             raise _HttpError(400, f"unknown request fields: {sorted(unknown)}")
+        tenant = request.get("tenant")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant.strip()
+        ):
+            raise _HttpError(400, f"bad tenant field: {tenant!r}")
+        deadline = request.get("deadline_ms")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ) or deadline <= 0:
+                raise _HttpError(
+                    400, f"deadline_ms must be a positive number: {deadline!r}"
+                )
         cache = request.get("cache")
         if cache is True:
             request["cache"] = CacheConfig(enabled=True)
@@ -295,14 +395,22 @@ class QueryServer:
         return request
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         text = _STATUS_TEXT.get(status, "Error")
+        extra = "".join(
+            f"{key}: {value}\r\n" for key, value in (headers or {}).items()
+        )
         writer.write(
             f"HTTP/1.1 {status} {text}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n".encode("ascii")
         )
         writer.write(body)

@@ -110,6 +110,7 @@ class _Endpoint:
         self.capacity = capacity
         self.profiles = profiles
         self.slots: Semaphore | None = None  # bound to a kernel per run
+        self.slots_generation = -1  # kernel generation the slots belong to
         self.concurrent = 0  # requests currently queued or in service
 
     def profile_for(self, operation: str) -> EndpointProfile:
@@ -187,6 +188,29 @@ class ServiceBroker:
 
     def all_stats(self) -> dict[str, CallStats]:
         return dict(self._stats)
+
+    def contention(self) -> dict[str, dict[str, float]]:
+        """Measured queue pressure per called operation.
+
+        For every operation that has served at least one call, report the
+        endpoint's ``capacity`` alongside the mean queue wait and mean
+        server time — the ratio of the two is how saturated the endpoint's
+        slot queue runs.  The admission controller's AFF fanout cap
+        (:meth:`repro.engine.admission.AdmissionController.fanout_cap`)
+        derives its ceiling from this.
+        """
+        report: dict[str, dict[str, float]] = {}
+        for endpoint in self._endpoints.values():
+            for operation in endpoint.document.operations:
+                stats = self._stats.get(operation)
+                if stats is None or not stats.calls:
+                    continue
+                report[operation] = {
+                    "capacity": endpoint.capacity,
+                    "queue_wait_mean": stats.queue_wait.mean,
+                    "server_time_mean": stats.server_time.mean,
+                }
+        return report
 
     # -- the call path -------------------------------------------------------------
 
@@ -309,9 +333,17 @@ class ServiceBroker:
         service = endpoint.document.service_name
         kernel = self.kernel
 
-        # Queue for a server slot (lazily bound to this kernel).
-        if endpoint.slots is None:
+        # Queue for a server slot (lazily bound to this kernel — and to
+        # its current generation: a shutdown kills whatever run the old
+        # semaphore belonged to, so a broker reused across shutdowns must
+        # not queue new calls on the dead run's primitive).
+        if (
+            endpoint.slots is None
+            or endpoint.slots_generation != kernel.generation
+        ):
             endpoint.slots = kernel.semaphore(endpoint.capacity)
+            endpoint.slots_generation = kernel.generation
+            endpoint.concurrent = 0
         queue_entered = kernel.now()
         endpoint.concurrent += 1
         acquired = False
