@@ -1,0 +1,410 @@
+"""Synthetic worlds that exercise the cost-based optimizer.
+
+Two workloads, shared by the optimizer test suites and
+``benchmarks/bench_optimizer.py``:
+
+* **Adversarial ordering** — three extra services beside the paper's
+  four.  ``ListRegions`` produces 12 regions; ``AuditRegion`` is slow and
+  expands each region into 6 findings; ``CheckRegion`` is fast and
+  *selective* (only every 4th region is active, so its mean fanout is
+  0.25).  ``ADVERSARIAL_SQL`` lists the expensive audit *before* the
+  selective probe, so the heuristic (query-order) plan calls the slow
+  service once per region and the fast one once per finding.  The cost
+  plan flips the order: probe first, audit only the surviving rows.
+
+* **Binding-pattern rewrite** — a ``DirectoryService`` exposing the same
+  logical relation through two inverse access paths: ``CodeOf(name) ->
+  code`` and ``NameOf(code) -> name``.  ``REWRITE_SQL`` only ever binds
+  the *name* side, so planning its ``NameOf`` call heuristically raises
+  ``BindingError``; with the declared access path the optimizer rewrites
+  it to ``CodeOf`` and the query executes.  ``REWRITE_DIRECT_SQL`` is the
+  hand-rewritten equivalent used to check row bags.
+
+``misdeclared=True`` builds the same world with a wrong fanout hint for
+``CheckRegion`` (6.0 instead of the true 0.25): the cold cost plan then
+audits first, and the resident engine's live-stats drift detector must
+discover the mistake and re-optimize.
+"""
+
+from __future__ import annotations
+
+from repro.services.latency import EndpointProfile
+from repro.services.registry import ServiceCosts, build_registry
+from repro.util.errors import ServiceFault
+from repro.wsmed.system import WSMED
+
+REGION_COUNT = 12
+FINDINGS_PER_REGION = 6
+ACTIVE_EVERY = 4  # every 4th region is active -> true CheckRegion fanout 0.25
+ITEM_COUNT = 8
+
+REGIONS = [f"R{i:02d}" for i in range(REGION_COUNT)]
+ACTIVE_REGIONS = [r for i, r in enumerate(REGIONS) if i % ACTIVE_EVERY == 0]
+ITEMS = [(f"item{i}", f"C{i:02d}") for i in range(ITEM_COUNT)]
+
+ADVERSARIAL_SQL = """
+SELECT au.finding, au.severity
+FROM   ListRegions lr, AuditRegion au, CheckRegion ck
+WHERE  au.region = lr.region AND ck.region = lr.region
+"""
+
+REWRITE_SQL = """
+SELECT li.item, no.code
+FROM   ListItems li, NameOf no
+WHERE  no.name = li.item
+"""
+
+REWRITE_DIRECT_SQL = """
+SELECT li.item, co.code
+FROM   ListItems li, CodeOf co
+WHERE  co.name = li.item
+"""
+
+_SURVEY_WSDL = """\
+<definitions name="SurveyService" targetNamespace="urn:bench:survey">
+  <types>
+    <schema>
+      <element name="ListRegions">
+        <complexType><sequence/></complexType>
+      </element>
+      <element name="ListRegionsResponse">
+        <complexType><sequence>
+          <element name="ListRegionsResult">
+            <complexType><sequence>
+              <element name="Region" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="region" type="xsd:string"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+      <element name="ListItems">
+        <complexType><sequence/></complexType>
+      </element>
+      <element name="ListItemsResponse">
+        <complexType><sequence>
+          <element name="ListItemsResult">
+            <complexType><sequence>
+              <element name="Item" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="item" type="xsd:string"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="SurveySoap">
+    <operation name="ListRegions">
+      <input element="ListRegions"/>
+      <output element="ListRegionsResponse"/>
+    </operation>
+    <operation name="ListItems">
+      <input element="ListItems"/>
+      <output element="ListItemsResponse"/>
+    </operation>
+  </portType>
+  <service name="SurveyService">
+    <port name="SurveySoap"/>
+  </service>
+</definitions>
+"""
+
+_AUDIT_WSDL = """\
+<definitions name="AuditService" targetNamespace="urn:bench:audit">
+  <types>
+    <schema>
+      <element name="AuditRegion">
+        <complexType><sequence>
+          <element name="region" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="AuditRegionResponse">
+        <complexType><sequence>
+          <element name="AuditRegionResult">
+            <complexType><sequence>
+              <element name="Finding" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="finding" type="xsd:string"/>
+                  <element name="severity" type="xsd:int"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="AuditSoap">
+    <operation name="AuditRegion">
+      <input element="AuditRegion"/>
+      <output element="AuditRegionResponse"/>
+    </operation>
+  </portType>
+  <service name="AuditService">
+    <port name="AuditSoap"/>
+  </service>
+</definitions>
+"""
+
+_PROBE_WSDL = """\
+<definitions name="ProbeService" targetNamespace="urn:bench:probe">
+  <types>
+    <schema>
+      <element name="CheckRegion">
+        <complexType><sequence>
+          <element name="region" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="CheckRegionResponse">
+        <complexType><sequence>
+          <element name="CheckRegionResult">
+            <complexType><sequence>
+              <element name="Status" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="status" type="xsd:string"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="ProbeSoap">
+    <operation name="CheckRegion">
+      <input element="CheckRegion"/>
+      <output element="CheckRegionResponse"/>
+    </operation>
+  </portType>
+  <service name="ProbeService">
+    <port name="ProbeSoap"/>
+  </service>
+</definitions>
+"""
+
+_DIRECTORY_WSDL = """\
+<definitions name="DirectoryService" targetNamespace="urn:bench:directory">
+  <types>
+    <schema>
+      <element name="CodeOf">
+        <complexType><sequence>
+          <element name="name" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="CodeOfResponse">
+        <complexType><sequence>
+          <element name="CodeOfResult">
+            <complexType><sequence>
+              <element name="Entry" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="code" type="xsd:string"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+      <element name="NameOf">
+        <complexType><sequence>
+          <element name="code" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="NameOfResponse">
+        <complexType><sequence>
+          <element name="NameOfResult">
+            <complexType><sequence>
+              <element name="Entry" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="name" type="xsd:string"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+    </schema>
+  </types>
+  <portType name="DirectorySoap">
+    <operation name="CodeOf">
+      <input element="CodeOf"/>
+      <output element="CodeOfResponse"/>
+    </operation>
+    <operation name="NameOf">
+      <input element="NameOf"/>
+      <output element="NameOfResponse"/>
+    </operation>
+  </portType>
+  <service name="DirectoryService">
+    <port name="DirectorySoap"/>
+  </service>
+</definitions>
+"""
+
+
+class SurveyProvider:
+    uri = "http://sim.example.com/survey.wsdl"
+
+    def __init__(self, geodata) -> None:
+        self.geodata = geodata
+
+    def wsdl_text(self) -> str:
+        return _SURVEY_WSDL
+
+    def invoke(self, operation: str, arguments: list) -> dict:
+        if operation == "ListRegions":
+            rows = [{"region": region} for region in REGIONS]
+            return {"ListRegionsResult": {"Region": rows}}
+        if operation == "ListItems":
+            rows = [{"item": item} for item, _code in ITEMS]
+            return {"ListItemsResult": {"Item": rows}}
+        raise ServiceFault(f"operation {operation!r} not implemented")
+
+
+class AuditProvider:
+    uri = "http://sim.example.com/audit.wsdl"
+
+    def __init__(self, geodata) -> None:
+        self.geodata = geodata
+
+    def wsdl_text(self) -> str:
+        return _AUDIT_WSDL
+
+    def invoke(self, operation: str, arguments: list) -> dict:
+        if operation != "AuditRegion":
+            raise ServiceFault(f"operation {operation!r} not implemented")
+        (region,) = arguments
+        if region not in REGIONS:
+            raise ServiceFault(f"unknown region {region!r}")
+        findings = [
+            {"finding": f"{region}-F{j}", "severity": j % 3}
+            for j in range(FINDINGS_PER_REGION)
+        ]
+        return {"AuditRegionResult": {"Finding": findings}}
+
+
+class ProbeProvider:
+    uri = "http://sim.example.com/probe.wsdl"
+
+    def __init__(self, geodata) -> None:
+        self.geodata = geodata
+
+    def wsdl_text(self) -> str:
+        return _PROBE_WSDL
+
+    def invoke(self, operation: str, arguments: list) -> dict:
+        if operation != "CheckRegion":
+            raise ServiceFault(f"operation {operation!r} not implemented")
+        (region,) = arguments
+        rows = [{"status": "active"}] if region in ACTIVE_REGIONS else []
+        return {"CheckRegionResult": {"Status": rows}}
+
+
+class DirectoryProvider:
+    uri = "http://sim.example.com/directory.wsdl"
+
+    def __init__(self, geodata) -> None:
+        self.geodata = geodata
+
+    def wsdl_text(self) -> str:
+        return _DIRECTORY_WSDL
+
+    def invoke(self, operation: str, arguments: list) -> dict:
+        (argument,) = arguments
+        if operation == "CodeOf":
+            rows = [
+                {"code": code} for item, code in ITEMS if item == argument
+            ]
+            return {"CodeOfResult": {"Entry": rows}}
+        if operation == "NameOf":
+            rows = [
+                {"name": item} for item, code in ITEMS if code == argument
+            ]
+            return {"NameOfResult": {"Entry": rows}}
+        raise ServiceFault(f"operation {operation!r} not implemented")
+
+
+def _profile(service_time: float, fanout_hint: float) -> EndpointProfile:
+    return EndpointProfile(
+        rtt=0.01,
+        setup=0.0,
+        service_time=service_time,
+        jitter=0.0,
+        fanout_hint=fanout_hint,
+    )
+
+
+def extra_costs(misdeclared: bool = False) -> dict[str, ServiceCosts]:
+    """Cost entries for the synthetic services.
+
+    ``misdeclared`` flips ``CheckRegion``'s fanout hint from its true
+    0.25 to 6.0 — the advisory hint lies, the simulated service itself is
+    unchanged, so only live observations can correct the plan.
+    """
+    check_hint = 6.0 if misdeclared else 1.0 / ACTIVE_EVERY
+    return {
+        "SurveyService": ServiceCosts(
+            capacity=40,
+            operations={
+                "ListRegions": _profile(0.04, float(REGION_COUNT)),
+                "ListItems": _profile(0.04, float(ITEM_COUNT)),
+            },
+        ),
+        "AuditService": ServiceCosts(
+            capacity=40,
+            operations={
+                "AuditRegion": _profile(2.0, float(FINDINGS_PER_REGION)),
+            },
+        ),
+        "ProbeService": ServiceCosts(
+            capacity=40,
+            operations={"CheckRegion": _profile(0.04, check_hint)},
+        ),
+        "DirectoryService": ServiceCosts(
+            capacity=40,
+            operations={
+                "CodeOf": _profile(0.04, 1.0),
+                "NameOf": _profile(0.04, 1.0),
+            },
+        ),
+    }
+
+
+EXTRA_PROVIDERS = (SurveyProvider, AuditProvider, ProbeProvider, DirectoryProvider)
+
+# The one-to-one column renaming that makes CodeOf/NameOf inverse access
+# paths of the same logical (name, code) relation.
+DIRECTORY_MAPPING = {"code": "code", "name": "name"}
+
+
+def build_optimizer_world(
+    misdeclared: bool = False, profile: str = "fast", **registry_kwargs
+) -> WSMED:
+    """A WSMED with the synthetic services imported and paths declared."""
+    registry = build_registry(
+        profile,
+        extra_providers=EXTRA_PROVIDERS,
+        extra_costs=extra_costs(misdeclared),
+        **registry_kwargs,
+    )
+    wsmed = WSMED(registry)
+    wsmed.import_all()
+    wsmed.functions.declare_access_path("NameOf", "CodeOf", DIRECTORY_MAPPING)
+    return wsmed
+
+
+def expected_adversarial_rows() -> list[tuple]:
+    """The adversarial query's answer, computed directly from the data."""
+    return sorted(
+        (f"{region}-F{j}", j % 3)
+        for region in ACTIVE_REGIONS
+        for j in range(FINDINGS_PER_REGION)
+    )
+
+
+def expected_rewrite_rows() -> list[tuple]:
+    return sorted((item, code) for item, code in ITEMS)

@@ -23,8 +23,14 @@ The package layers (see DESIGN.md for the full inventory):
 * :mod:`repro.wsmed` — the mediator facade tying it all together.
 """
 
+from repro.algebra.optimizer import (
+    OptimizerConfig,
+    OptimizerReport,
+    create_cost_based_plan,
+)
 from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig, CacheStats
+from repro.calculus.rewrite import AppliedRewrite, rewrite_unfittable
 from repro.engine import (
     AdmissionConfig,
     AdmissionRejected,
@@ -43,6 +49,7 @@ from repro.obs import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.fdb.functions import AccessPath
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.faults import FaultInjection, FaultStats
 from repro.parallel.tree import FanoutVector
@@ -121,6 +128,12 @@ __all__ = [
     "analyze_critical_path",
     "to_chrome_trace",
     "write_chrome_trace",
+    "AccessPath",
+    "AppliedRewrite",
+    "OptimizerConfig",
+    "OptimizerReport",
+    "create_cost_based_plan",
+    "rewrite_unfittable",
     "WSMED",
     "ExecutionMode",
     "QUERY1_SQL",

@@ -48,6 +48,41 @@ class CostModel:
     def call_cost(self, function: str) -> float:
         return self.call_costs.get(function, self.default_cost)
 
+    def assumptions_for(self, functions: set[str]) -> dict[str, tuple[float, float]]:
+        """(call cost, fanout) per function — what a plan was costed with.
+
+        The resident engine snapshots these next to a cached cost-based
+        plan and re-optimizes when observed statistics drift from them.
+        """
+        return {
+            name: (self.call_cost(name), self.fanout(name))
+            for name in sorted(functions)
+        }
+
+
+def model_from_observations(
+    base: CostModel, observed: dict[str, tuple[float, float]]
+) -> CostModel:
+    """Overlay observed per-function (call cost, fanout) onto ``base``.
+
+    Returns a new model; ``base`` is not modified.  Observations win over
+    profiled assumptions because they reflect the service as measured.
+    """
+    fanouts = dict(base.fanouts)
+    call_costs = dict(base.call_costs)
+    for name, (cost, fanout) in observed.items():
+        if cost > 0.0:
+            call_costs[name] = cost
+        if fanout > 0.0:
+            fanouts[name] = fanout
+    return CostModel(
+        fanouts=fanouts,
+        call_costs=call_costs,
+        default_fanout=base.default_fanout,
+        default_cost=base.default_cost,
+        selectivity=base.selectivity,
+    )
+
 
 @dataclass
 class PlanEstimate:
@@ -70,6 +105,79 @@ def estimate_plan(
     estimate = PlanEstimate()
     estimate.output_cardinality = _walk(plan, registry, model, estimate)
     return estimate
+
+
+@dataclass
+class NodeEstimate:
+    """Per-operator estimate, for explain's annotated plan rendering."""
+
+    input_cardinality: float
+    output_cardinality: float
+    calls: float = 0.0  # OWF calls issued by this node (0 for free ops)
+    time: float = 0.0  # sequential seconds spent in this node
+
+
+def estimate_nodes(
+    plan: PlanNode, registry: FunctionRegistry, model: CostModel | None = None
+) -> dict[int, NodeEstimate]:
+    """Per-node estimates keyed by ``id(node)``.
+
+    Uses the same propagation rules as :func:`estimate_plan`; parallel
+    sections (FF/AFF) annotate their body nodes per parameter tuple.
+    """
+    model = model or CostModel()
+    estimates: dict[int, NodeEstimate] = {}
+    _annotate(plan, registry, model, estimates)
+    return estimates
+
+
+def _annotate(
+    node: PlanNode,
+    registry: FunctionRegistry,
+    model: CostModel,
+    estimates: dict[int, NodeEstimate],
+) -> float:
+    if isinstance(node, ApplyNode):
+        in_card = _annotate(node.child, registry, model, estimates)
+        function = registry.resolve(node.function)
+        out_card = in_card * model.fanout(node.function)
+        if function.kind is FunctionKind.OWF:
+            estimates[id(node)] = NodeEstimate(
+                in_card, out_card, in_card, in_card * model.call_cost(function.name)
+            )
+        else:
+            estimates[id(node)] = NodeEstimate(in_card, out_card)
+        return out_card
+    if isinstance(node, FilterNode):
+        in_card = _annotate(node.child, registry, model, estimates)
+        out_card = in_card * model.selectivity
+        estimates[id(node)] = NodeEstimate(in_card, out_card)
+        return out_card
+    if isinstance(node, JoinNode):
+        left_card = _annotate(node.left, registry, model, estimates)
+        right_card = _annotate(node.right, registry, model, estimates)
+        out_card = max(1.0, min(left_card, right_card)) * model.selectivity * 2.0
+        estimates[id(node)] = NodeEstimate(left_card + right_card, out_card)
+        return out_card
+    if isinstance(node, (FFApplyNode, AFFApplyNode)):
+        in_card = _annotate(node.child, registry, model, estimates)
+        body = PlanEstimate()
+        body_card = _walk(node.plan_function.body, registry, model, body)
+        _annotate(node.plan_function.body, registry, model, estimates)
+        estimates[id(node)] = NodeEstimate(
+            in_card,
+            body_card * in_card,
+            body.total_calls * in_card,
+            body.sequential_time * in_card,
+        )
+        return body_card * in_card
+    children = node.children()
+    if not children:
+        estimates[id(node)] = NodeEstimate(0.0, 1.0)
+        return 1.0
+    in_card = _annotate(children[0], registry, model, estimates)
+    estimates[id(node)] = NodeEstimate(in_card, in_card)
+    return in_card
 
 
 def _walk(

@@ -5,23 +5,45 @@ from __future__ import annotations
 from repro.algebra.plan import AFFApplyNode, FFApplyNode, PlanFunction, PlanNode
 
 
-def render_plan(node: PlanNode, *, indent: int = 0) -> str:
+def render_plan(
+    node: PlanNode,
+    *,
+    indent: int = 0,
+    annotations: dict[int, str] | None = None,
+) -> str:
     """Indented textual plan tree, top operator first (like Figs 6-13).
 
     Plan functions referenced by ``FF_APPLYP``/``AFF_APPLYP`` nodes are
     rendered inline, indented under the operator, so the full shipped code
     is visible in ``explain`` output.
+
+    ``annotations`` optionally maps ``id(node)`` to a suffix string — the
+    cost-based explain uses it to show per-operator estimates.
     """
     pad = "  " * indent
-    lines = [f"{pad}{node.label()}  : <{', '.join(node.schema)}>"]
+    suffix = annotations.get(id(node), "") if annotations else ""
+    lines = [f"{pad}{node.label()}  : <{', '.join(node.schema)}>{suffix}"]
     if isinstance(node, (FFApplyNode, AFFApplyNode)):
-        lines.append(render_plan_function(node.plan_function, indent=indent + 1))
+        lines.append(
+            render_plan_function(
+                node.plan_function, indent=indent + 1, annotations=annotations
+            )
+        )
     for child in node.children():
-        lines.append(render_plan(child, indent=indent + 1))
+        lines.append(
+            render_plan(child, indent=indent + 1, annotations=annotations)
+        )
     return "\n".join(lines)
 
 
-def render_plan_function(function: PlanFunction, *, indent: int = 0) -> str:
+def render_plan_function(
+    function: PlanFunction,
+    *,
+    indent: int = 0,
+    annotations: dict[int, str] | None = None,
+) -> str:
     pad = "  " * indent
     header = f"{pad}plan function {function.signature()}"
-    return header + "\n" + render_plan(function.body, indent=indent + 1)
+    return header + "\n" + render_plan(
+        function.body, indent=indent + 1, annotations=annotations
+    )

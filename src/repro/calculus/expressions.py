@@ -123,6 +123,13 @@ class CalculusQuery:
     ``distinct``/``order_by``/``limit`` are post-processing directives
     applied to the head columns (``order_by`` entries are (head column
     name, ascending)); they always execute in the coordinator.
+
+    ``unbound`` lists placeholder variable names (``<alias>_<param>``)
+    standing for input parameters the query never binds.  It is always
+    empty under strict generation (unbound inputs raise
+    :class:`~repro.util.errors.BindingError` instead); the lenient mode
+    used by the cost-based optimizer records them here so the
+    access-path rewrite phase can try to repair the query.
     """
 
     name: str
@@ -131,6 +138,7 @@ class CalculusQuery:
     distinct: bool = False
     order_by: tuple[tuple[str, bool], ...] = ()
     limit: int | None = None
+    unbound: tuple[str, ...] = ()
 
     def function_predicates(self) -> list[FunctionPredicate]:
         return [p for p in self.predicates if isinstance(p, FunctionPredicate)]

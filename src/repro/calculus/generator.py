@@ -89,10 +89,17 @@ class _View:
 
 
 class _Generator:
-    def __init__(self, query: ast.Query, registry: FunctionRegistry, name: str) -> None:
+    def __init__(
+        self,
+        query: ast.Query,
+        registry: FunctionRegistry,
+        name: str,
+        allow_unbound: bool = False,
+    ) -> None:
         self.query = query
         self.registry = registry
         self.name = name
+        self.allow_unbound = allow_unbound
         self.views: dict[str, _View] = {}
         # (alias, param name) -> binding expression in terms of *columns*,
         # i.e. possibly referencing other inputs before substitution.
@@ -100,6 +107,8 @@ class _Generator:
         self.filters: list[tuple[str, ast.Expression, ast.Expression]] = []
         # Placeholder variable name -> (alias, input parameter) it stands for.
         self._input_placeholders: dict[str, tuple[str, str]] = {}
+        # Unbound placeholder names in first-encounter order (lenient mode).
+        self._unbound: dict[str, None] = {}
 
     # -- resolution ------------------------------------------------------------
 
@@ -238,6 +247,11 @@ class _Generator:
             )
         binding = self.bindings.get(key)
         if binding is None:
+            if self.allow_unbound:
+                # Leave the placeholder in place and record it; the
+                # rewrite phase may repair it via an access path.
+                self._unbound.setdefault(expression.name)
+                return expression
             view = self.views[key[0]]
             raise BindingError(
                 f"input parameter {key[1]!r} of view {view.function.name!r} "
@@ -292,6 +306,7 @@ class _Generator:
             distinct=self.query.distinct,
             order_by=tuple(self._order_by(head)),
             limit=self.query.limit,
+            unbound=tuple(self._unbound),
         )
 
     def _order_by(self, head: tuple[HeadItem, ...]) -> list[tuple[str, bool]]:
@@ -345,7 +360,17 @@ class _Generator:
 
 
 def generate_calculus(
-    query: ast.Query, registry: FunctionRegistry, name: str = "Query"
+    query: ast.Query,
+    registry: FunctionRegistry,
+    name: str = "Query",
+    *,
+    allow_unbound: bool = False,
 ) -> CalculusQuery:
-    """Translate a parsed SQL query into conjunctive calculus."""
-    return _Generator(query, registry, name).generate()
+    """Translate a parsed SQL query into conjunctive calculus.
+
+    With ``allow_unbound=True`` an input parameter the query never binds
+    does not raise :class:`~repro.util.errors.BindingError`; its
+    placeholder variable is left in the predicate arguments and recorded
+    in :attr:`CalculusQuery.unbound` for the access-path rewrite phase.
+    """
+    return _Generator(query, registry, name, allow_unbound=allow_unbound).generate()

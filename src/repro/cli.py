@@ -91,6 +91,7 @@ class Shell:
         engine: QueryEngine | None = None,
         trace_out: str | None = None,
         kernel: Kernel | None = None,
+        optimize: str = "heuristic",
     ) -> None:
         self.wsmed = wsmed
         self.out = out
@@ -103,6 +104,9 @@ class Shell:
         self.kernel = kernel
         self.mode = mode
         self.fanouts = fanouts
+        # Planner level: "heuristic" (the seed's query-order γ-plan) or
+        # "cost" (the cost-based optimizer of repro.algebra.optimizer).
+        self.optimize = optimize
         self.adaptation = AdaptationParams()
         self.retries = retries
         self.cache_config = cache
@@ -143,6 +147,8 @@ class Shell:
             kwargs["obs"] = TraceRecorder()
         if self.engine is None and self.kernel is not None:
             kwargs["kernel"] = self.kernel
+        if self.optimize != "heuristic":
+            kwargs["optimize"] = self.optimize
         runner = self.engine.sql if self.engine is not None else self.wsmed.sql
         result = runner(
             sql,
@@ -163,6 +169,8 @@ class Shell:
             kwargs["fanouts"] = self.fanouts
         elif self.mode == "adaptive":
             kwargs["adaptation"] = self.adaptation
+        if self.optimize != "heuristic":
+            kwargs["optimize"] = self.optimize
         self.write(self.wsmed.explain(sql, mode=self.mode, **kwargs))
 
     # -- meta commands -----------------------------------------------------------
@@ -188,6 +196,11 @@ class Shell:
         elif command == "fanouts":
             self.fanouts = _parse_fanouts(argument)
             self.write(f"fanouts = {self.fanouts}")
+        elif command == "optimize":
+            if argument not in ("heuristic", "cost"):
+                raise ReproError("optimize must be heuristic or cost")
+            self.optimize = argument
+            self.write(f"optimize = {self.optimize}")
         elif command == "retries":
             self.retries = int(argument)
             self.write(f"retries = {self.retries}")
@@ -421,6 +434,7 @@ meta commands:
   \\owf NAME         show the generated OWF source (paper Fig 2 style)
   \\mode M           central | parallel | adaptive
   \\fanouts 5,4      fanout vector for parallel mode
+  \\optimize L       planner level: heuristic (seed) | cost (optimizer)
   \\retries N        retry retriable service faults N times per call
   \\stats            all statistics sections of the last execution
   \\stats SECTION    one section: calls | tree | cache | batch | faults
@@ -460,6 +474,14 @@ def build_argument_parser() -> argparse.ArgumentParser:
         choices=("central", "parallel", "adaptive"),
     )
     parser.add_argument("--fanouts", help="fanout vector for parallel mode, e.g. 5,4")
+    parser.add_argument(
+        "--optimize",
+        default="heuristic",
+        choices=("heuristic", "cost"),
+        help="planner level: heuristic (the seed's query-order plan, "
+        "default) or cost (bushy search + binding-pattern rewrites; see "
+        "repro.algebra.optimizer)",
+    )
     parser.add_argument(
         "--profile", default="paper", choices=("paper", "fast", "uncontended")
     )
@@ -559,6 +581,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="share call results and pools across concurrent requests",
     )
     parser.add_argument(
+        "--optimize",
+        default="heuristic",
+        choices=("heuristic", "cost"),
+        help="default planner level for requests that don't set "
+        '"optimize" (cost enables the cost-based optimizer with '
+        "live-stats re-optimization)",
+    )
+    parser.add_argument(
         "--trace-dir",
         default="traces",
         metavar="DIR",
@@ -636,6 +666,7 @@ def serve_main(argv: list[str], out: IO[str]) -> int:
             host=arguments.host,
             port=arguments.port,
             trace_dir=arguments.trace_dir,
+            default_optimize=arguments.optimize,
         )
 
         async def _serve() -> None:
@@ -701,6 +732,7 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         engine=engine,
         trace_out=arguments.trace_out,
         kernel=kernel,
+        optimize=arguments.optimize,
     )
     if arguments.batch:
         if arguments.batch.strip().lower() == "adaptive":

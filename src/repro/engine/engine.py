@@ -45,6 +45,7 @@ from repro.engine.admission import AdmissionConfig, AdmissionController
 from repro.engine.plan_cache import CompiledPlan, PlanCache, plan_dependencies
 from repro.engine.pools import PoolRegistry
 from repro.engine.shared import ShareConfig, SharedCallCache
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.parallel.batching import message_stats_from_trace
 from repro.parallel.costs import ProcessCosts
@@ -111,6 +112,9 @@ class EngineStats:
     admission_baseline_p50: float = 0.0
     admission_inflation: float = 0.0
     admission_fanout_cap: int = 0
+    # Cost-based optimizer feedback loop (repro.algebra.optimizer).
+    reoptimizations: int = 0
+    observed_operations: int = 0
 
     def as_dict(self) -> dict[str, object]:
         return dict(self.__dict__)
@@ -144,6 +148,11 @@ class EngineStats:
                 f"({self.admission_raises} raises, "
                 f"{self.admission_backoffs} backoffs, p50 inflation "
                 f"{self.admission_inflation:.2f}x, {cap})"
+            )
+        if self.reoptimizations or self.observed_operations:
+            lines.append(
+                f"cost optimizer: {self.observed_operations} operations "
+                f"observed, {self.reoptimizations} plans re-optimized"
             )
         if self.sharing:
             lines.append(self.share_report())
@@ -207,6 +216,7 @@ class QueryEngine:
         fault_rate: float = 0.0,
         share: ShareConfig | None = None,
         admission: str | AdmissionConfig = "static",
+        drift_threshold: float = 2.0,
     ) -> None:
         if max_concurrency < 1:
             raise ReproError(
@@ -283,6 +293,14 @@ class QueryEngine:
         self._active = 0
         self._peak_active = 0
         self._closed = False
+        # Live per-operation statistics for the cost-based optimizer's
+        # feedback loop: operation -> [calls, rows, total seconds],
+        # aggregated from every query's CallRecorder.  The same numbers
+        # are published on `metrics` (MetricsRegistry) for inspection.
+        self.drift_threshold = drift_threshold
+        self._observed_totals: dict[str, list[float]] = {}
+        self._reoptimizations = 0
+        self.metrics = MetricsRegistry()
         wsmed.add_replace_listener(self._on_function_replaced)
 
     # -- invalidation ------------------------------------------------------------
@@ -301,6 +319,11 @@ class QueryEngine:
         self.pool_registry.condemn(name)
         if self.shared is not None:
             self.shared.invalidate_operation(name)
+        # A replaced endpoint may have a different performance profile;
+        # observations of the old one must not steer the optimizer.
+        for operation in list(self._observed_totals):
+            if operation.lower() == name:
+                del self._observed_totals[operation]
 
     # -- query execution ------------------------------------------------------------
 
@@ -309,7 +332,8 @@ class QueryEngine:
 
         Accepts the planning/execution keywords of :meth:`WSMED.sql`
         (``mode``, ``fanouts``, ``adaptation``, ``retries``, ``cache``,
-        ``process_costs``, ``on_error``, ``faults``, ``name``, ``obs``) —
+        ``process_costs``, ``on_error``, ``faults``, ``name``, ``obs``,
+        ``optimize``) —
         but not ``kernel`` or ``fault_rate``, which are engine-level
         here.  Two admission keywords ride along: ``tenant`` (fair-queue
         identity, default ``"default"``) and ``deadline_ms`` (model
@@ -428,6 +452,7 @@ class QueryEngine:
         faults: FaultInjection | None = None,
         name: str = "Query",
         obs: NullRecorder | None = None,
+        optimize: str = "heuristic",
     ) -> QueryResult:
         await self.pool_registry.drain()
         mode = ExecutionMode.of(mode)
@@ -446,7 +471,8 @@ class QueryEngine:
                     )
         recorder = obs if obs is not None else NULL_RECORDER
         compiled = self._compiled(
-            sql_text, mode, fanouts, adaptation, name, obs=recorder
+            sql_text, mode, fanouts, adaptation, name, obs=recorder,
+            optimize=optimize,
         )
         effective_costs = process_costs or self.wsmed.process_costs
         if on_error is not None:
@@ -514,6 +540,11 @@ class QueryEngine:
             recorder.finish(query_span, at=self.kernel.now(), rows=len(rows))
         self._queries += 1
         call_recorder = ctx.call_recorder
+        self._absorb_observations(call_recorder.all_stats())
+        if compiled.optimize == "cost":
+            self._maybe_reoptimize(
+                sql_text, mode, fanouts, adaptation, name, compiled
+            )
         return QueryResult(
             columns=compiled.plan.schema,
             rows=rows,
@@ -545,25 +576,135 @@ class QueryEngine:
         adaptation: AdaptationParams | None,
         name: str,
         obs: NullRecorder = NULL_RECORDER,
+        optimize: str = "heuristic",
     ) -> CompiledPlan:
         if mode is ExecutionMode.ADAPTIVE:
             # Normalize before fingerprinting: None and the default
             # params compile to the same plan and must share an entry.
             adaptation = adaptation or AdaptationParams()
-        key = PlanCache.fingerprint(sql_text, mode, fanouts, adaptation, name)
+        key = PlanCache.fingerprint(
+            sql_text, mode, fanouts, adaptation, name, optimize
+        )
         compiled = self.plan_cache.get(key)
         if compiled is None:
-            plan = self.wsmed.plan(
+            compiled = self._compile_entry(
+                sql_text, mode, fanouts, adaptation, name, optimize, obs=obs
+            )
+            self.plan_cache.put(key, compiled)
+        return compiled
+
+    def _compile_entry(
+        self,
+        sql_text: str,
+        mode: ExecutionMode,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+        optimize: str,
+        obs: NullRecorder = NULL_RECORDER,
+    ) -> CompiledPlan:
+        if optimize == "cost":
+            _, plan, report = self.wsmed._compile(
                 sql_text,
                 mode=mode,
                 fanouts=fanouts,
                 adaptation=adaptation,
                 name=name,
                 obs=obs,
+                optimize="cost",
+                observed=self.observed_stats() or None,
             )
-            compiled = CompiledPlan(plan=plan, dependencies=plan_dependencies(plan))
-            self.plan_cache.put(key, compiled)
-        return compiled
+            return CompiledPlan(
+                plan=plan,
+                dependencies=plan_dependencies(plan),
+                optimize="cost",
+                assumptions=dict(report.assumptions) if report else None,
+                report=report,
+            )
+        plan = self.wsmed.plan(
+            sql_text,
+            mode=mode,
+            fanouts=fanouts,
+            adaptation=adaptation,
+            name=name,
+            obs=obs,
+        )
+        return CompiledPlan(plan=plan, dependencies=plan_dependencies(plan))
+
+    # -- live-stats feedback ----------------------------------------------------
+
+    def _absorb_observations(self, stats) -> None:
+        """Fold one query's per-operation CallStats into the running
+        totals (and the engine's MetricsRegistry)."""
+        for operation, call_stats in stats.items():
+            if not call_stats.calls:
+                continue
+            totals = self._observed_totals.setdefault(
+                operation, [0.0, 0.0, 0.0]
+            )
+            totals[0] += call_stats.calls
+            totals[1] += call_stats.rows
+            totals[2] += call_stats.total_time.total
+            labels = {"operation": operation}
+            self.metrics.counter("engine.calls", labels).inc(call_stats.calls)
+            self.metrics.counter("engine.rows", labels).inc(call_stats.rows)
+            self.metrics.counter("engine.call_seconds", labels).inc(
+                call_stats.total_time.total
+            )
+
+    def observed_stats(self) -> dict[str, tuple[float, float]]:
+        """Measured per-operation ``(mean call seconds, mean fanout)``."""
+        observed = {}
+        for operation, (calls, rows, seconds) in self._observed_totals.items():
+            if calls > 0:
+                observed[operation] = (seconds / calls, rows / calls)
+        return observed
+
+    def _maybe_reoptimize(
+        self,
+        sql_text: str,
+        mode: ExecutionMode,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+        compiled: CompiledPlan,
+    ) -> None:
+        """Re-optimize a cached cost-based plan when live stats drift.
+
+        Compares the measured per-operation call cost and fanout against
+        the assumptions the cached plan was costed with; past
+        ``drift_threshold`` (a ratio, either direction) the entry is
+        recompiled with the observed statistics so the *next* execution
+        runs the improved plan.  Replacing the cache entry recompiles the
+        plan with fresh node ids, so its warm pools cold-start once —
+        the same trade the condemn/invalidation machinery already makes.
+        """
+        assumptions = compiled.assumptions
+        if not assumptions:
+            return
+        observed = self.observed_stats()
+        drifted = False
+        for operation, (assumed_cost, assumed_fanout) in assumptions.items():
+            measured = observed.get(operation)
+            if measured is None:
+                continue
+            for assumed, actual in zip((assumed_cost, assumed_fanout), measured):
+                if assumed <= 0.0 or actual <= 0.0:
+                    continue
+                ratio = actual / assumed
+                if ratio > self.drift_threshold or ratio < 1.0 / self.drift_threshold:
+                    drifted = True
+        if not drifted:
+            return
+        key = PlanCache.fingerprint(
+            sql_text, mode, fanouts, adaptation, name, "cost"
+        )
+        fresh = self._compile_entry(
+            sql_text, mode, fanouts, adaptation, name, "cost"
+        )
+        self.plan_cache.put(key, fresh)
+        self._reoptimizations += 1
+        self.metrics.counter("engine.reoptimizations").inc()
 
     def _lease_coordinator_cache(
         self, ctx: ExecutionContext, config: CacheConfig | None
@@ -624,6 +765,8 @@ class QueryEngine:
             batched_calls=shared_stats.batched_calls if shared_stats else 0,
             pool_lease_waits=pool_stats.lease_waits,
             shared_pool_leases=pool_stats.shared_leases,
+            reoptimizations=self._reoptimizations,
+            observed_operations=len(self._observed_totals),
             **(
                 {
                     "admission_policy": admission_stats.policy,

@@ -84,10 +84,20 @@ def structural_form(serialized) -> object:
 
 @dataclass
 class CompiledPlan:
-    """A cached compilation result plus its function dependencies."""
+    """A cached compilation result plus its function dependencies.
+
+    Cost-optimized compilations also carry the optimizer's planning
+    ``assumptions`` — per-function ``(call cost, fanout)`` the cost model
+    used — and its :class:`~repro.algebra.optimizer.OptimizerReport`.
+    The engine compares live :class:`~repro.services.broker.CallStats`
+    against the assumptions and re-optimizes the entry when they drift.
+    """
 
     plan: PlanNode
     dependencies: frozenset[str]
+    optimize: str = "heuristic"
+    assumptions: dict[str, tuple[float, float]] | None = None
+    report: object | None = None
 
 
 @dataclass
@@ -123,13 +133,16 @@ class PlanCache:
         fanouts: list[int] | None,
         adaptation: AdaptationParams | None,
         name: str,
+        optimize: str = "heuristic",
     ) -> tuple:
         """Stable cache key for one compilation request.
 
         SQL text is whitespace-normalized (query text pasted with
         different indentation is the same query); everything else is
         taken structurally.  :class:`AdaptationParams` is frozen, hence
-        hashable.
+        hashable.  ``optimize`` keys heuristic and cost-based
+        compilations separately, so switching levels never serves a
+        stale plan shape.
         """
         mode_value = mode.value if hasattr(mode, "value") else str(mode)
         return (
@@ -138,6 +151,7 @@ class PlanCache:
             tuple(fanouts) if fanouts is not None else None,
             adaptation,
             name,
+            optimize,
         )
 
     def __len__(self) -> int:

@@ -22,6 +22,38 @@ class FunctionError(ReproError):
     """Raised on registry misuse: duplicate names, unknown lookups."""
 
 
+@dataclass(frozen=True)
+class AccessPath:
+    """Declares two functions as access paths over one logical relation.
+
+    ``function`` and ``alternative`` enumerate the same set of logical
+    rows, but with different binding patterns — e.g. a lookup-by-id view
+    and its inverse lookup-by-name view over one directory relation (the
+    *path views* of Romero et al., "Equivalent Rewritings on Path Views
+    with Binding Patterns").  ``mapping`` renames the canonical
+    function's columns (inputs and outputs alike) to the alternative's
+    columns; columns missing from the mapping cannot be recovered
+    through this path.
+
+    The optimizer's rewrite phase uses declared access paths to replace
+    a call whose binding pattern the query cannot satisfy (a
+    :class:`~repro.util.errors.BindingError` under the heuristic
+    planner) with an equivalent call that the bound variables *can*
+    drive.
+    """
+
+    function: str
+    alternative: str
+    mapping: tuple[tuple[str, str], ...]  # (function column, alternative column)
+
+    def mapped(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    def __str__(self) -> str:
+        renames = ", ".join(f"{a}->{b}" for a, b in self.mapping)
+        return f"{self.function} == {self.alternative} ({renames})"
+
+
 class FunctionKind(enum.Enum):
     """How a function is evaluated."""
 
@@ -86,6 +118,9 @@ class FunctionRegistry:
 
     def __init__(self) -> None:
         self._functions: dict[str, FunctionDef] = {}
+        # Lower-cased function name -> access paths usable to replace a
+        # call of that function (see declare_access_path).
+        self._access_paths: dict[str, list[AccessPath]] = {}
 
     def register(self, function: FunctionDef) -> None:
         key = function.name.lower()
@@ -108,6 +143,81 @@ class FunctionRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._functions
+
+    # -- access-path equivalences ------------------------------------------------
+
+    @staticmethod
+    def _columns_of(function: FunctionDef) -> dict[str, str]:
+        """Lower-cased column name -> declared spelling, inputs + outputs."""
+        columns = {p.name.lower(): p.name for p in function.parameters}
+        for name in function.result.column_names():
+            columns.setdefault(name.lower(), name)
+        return columns
+
+    def declare_access_path(
+        self, function: str, alternative: str, mapping: dict[str, str]
+    ) -> None:
+        """Declare ``alternative`` as an equivalent access path of ``function``.
+
+        ``mapping`` renames columns of ``function`` (inputs or outputs)
+        to columns of ``alternative``.  The declaration is symmetric:
+        the inverse mapping is registered automatically, so either
+        function can be rewritten into the other.  Every *input*
+        parameter of a target function must be reachable through the
+        mapping, otherwise the rewrite could never construct a call.
+        """
+        f = self.resolve(function)
+        g = self.resolve(alternative)
+        if f.name.lower() == g.name.lower():
+            raise FunctionError(
+                f"cannot declare {f.name!r} as an access path of itself"
+            )
+        f_columns = self._columns_of(f)
+        g_columns = self._columns_of(g)
+        normalized: list[tuple[str, str]] = []
+        for f_col, g_col in mapping.items():
+            if f_col.lower() not in f_columns:
+                raise FunctionError(
+                    f"access path mapping names {f_col!r}, which is not a "
+                    f"column of {f.name!r}"
+                )
+            if g_col.lower() not in g_columns:
+                raise FunctionError(
+                    f"access path mapping names {g_col!r}, which is not a "
+                    f"column of {g.name!r}"
+                )
+            normalized.append(
+                (f_columns[f_col.lower()], g_columns[g_col.lower()])
+            )
+        if len({a.lower() for a, _ in normalized}) != len(normalized) or len(
+            {b.lower() for _, b in normalized}
+        ) != len(normalized):
+            raise FunctionError(
+                f"access path mapping between {f.name!r} and {g.name!r} "
+                "must be one-to-one"
+            )
+        for target, columns, side in (
+            (g, {b.lower() for _, b in normalized}, "values"),
+            (f, {a.lower() for a, _ in normalized}, "keys"),
+        ):
+            unmapped = [
+                p.name for p in target.parameters if p.name.lower() not in columns
+            ]
+            if unmapped:
+                raise FunctionError(
+                    f"access path mapping {side} must cover every input of "
+                    f"{target.name!r}; missing: {unmapped}"
+                )
+        forward = AccessPath(f.name, g.name, tuple(sorted(normalized)))
+        backward = AccessPath(
+            g.name, f.name, tuple(sorted((b, a) for a, b in normalized))
+        )
+        self._access_paths.setdefault(f.name.lower(), []).append(forward)
+        self._access_paths.setdefault(g.name.lower(), []).append(backward)
+
+    def access_paths(self, name: str) -> list[AccessPath]:
+        """Declared alternatives for calls of ``name`` (may be empty)."""
+        return list(self._access_paths.get(name.lower(), []))
 
     def owfs(self) -> list[FunctionDef]:
         return [f for f in self._functions.values() if f.kind is FunctionKind.OWF]

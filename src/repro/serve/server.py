@@ -13,6 +13,7 @@ Protocol (all bodies JSON, all responses either JSON or NDJSON):
          "cache": true,              -- or {"max_entries": N, "ttl": T}
          "name": "Query",
          "trace": false,             -- per-request span tracing
+         "optimize": "cost",         -- heuristic | cost (planner level)
          "tenant": "analytics",      -- fair-queue identity (adaptive admission)
          "deadline_ms": 60000}       -- model-ms deadline; unmeetable -> 429
 
@@ -90,7 +91,10 @@ class QueryServer:
 
     ``port=0`` binds an ephemeral port (``self.port`` holds the real one
     after :meth:`start`).  ``trace_dir`` is where per-request Chrome
-    trace files land for ``"trace": true`` requests.
+    trace files land for ``"trace": true`` requests.  ``default_optimize``
+    is the planner level used when a request doesn't set ``"optimize"``
+    (``repro serve --optimize cost`` makes the cost-based optimizer the
+    server default).
     """
 
     def __init__(
@@ -100,11 +104,18 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         trace_dir: str = "traces",
+        default_optimize: str = "heuristic",
     ) -> None:
+        if default_optimize not in ("heuristic", "cost"):
+            raise ReproError(
+                f'default_optimize must be "heuristic" or "cost", '
+                f"got {default_optimize!r}"
+            )
         self.engine = engine
         self.host = host
         self.port = port
         self.trace_dir = trace_dir
+        self.default_optimize = default_optimize
         self.requests_served = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -363,6 +374,7 @@ class QueryServer:
             "trace",
             "tenant",
             "deadline_ms",
+            "optimize",
         }
         unknown = set(request) - allowed
         if unknown:
@@ -380,6 +392,12 @@ class QueryServer:
                 raise _HttpError(
                     400, f"deadline_ms must be a positive number: {deadline!r}"
                 )
+        optimize = request.setdefault("optimize", self.default_optimize)
+        if optimize not in ("heuristic", "cost"):
+            raise _HttpError(
+                400,
+                f'optimize must be "heuristic" or "cost": {optimize!r}',
+            )
         cache = request.get("cache")
         if cache is True:
             request["cache"] = CacheConfig(enabled=True)

@@ -53,6 +53,10 @@ class EndpointProfile:
     # timed-out call raises a *retriable* ServiceFault after ``timeout``
     # seconds, so the retry policy can recover from overloaded servers.
     timeout: float | None = None
+    # Expected rows per call, published for the cost-based optimizer's
+    # cardinality propagation.  Purely advisory: never used by the
+    # simulated server itself, so adding it cannot change any timing.
+    fanout_hint: float | None = None
 
     def __post_init__(self) -> None:
         for name in (

@@ -94,7 +94,12 @@ _PAPER_COSTS: dict[str, ServiceCosts] = {
         capacity=40,
         operations={
             "GetAllStates": EndpointProfile(
-                rtt=0.6, setup=0.05, service_time=1.2, per_row=0.01, jitter=0.05
+                rtt=0.6,
+                setup=0.05,
+                service_time=1.2,
+                per_row=0.01,
+                jitter=0.05,
+                fanout_hint=50.0,
             ),
             "GetPlacesWithin": EndpointProfile(
                 rtt=0.45,
@@ -104,6 +109,7 @@ _PAPER_COSTS: dict[str, ServiceCosts] = {
                 overload_penalty=0.6,
                 overload_quadratic=0.08,
                 degrade_above=1,
+                fanout_hint=5.2,
             ),
         },
     ),
@@ -118,6 +124,7 @@ _PAPER_COSTS: dict[str, ServiceCosts] = {
                 overload_penalty=0.2,
                 overload_quadratic=0.018,
                 degrade_above=1,
+                fanout_hint=3.0,
             ),
         },
     ),
@@ -132,6 +139,7 @@ _PAPER_COSTS: dict[str, ServiceCosts] = {
                 overload_penalty=0.24,
                 overload_quadratic=0.068,
                 degrade_above=1,
+                fanout_hint=99.0,
             ),
         },
     ),
@@ -146,6 +154,7 @@ _PAPER_COSTS: dict[str, ServiceCosts] = {
                 overload_penalty=1.6,
                 overload_quadratic=0.2,
                 degrade_above=1,
+                fanout_hint=2.0,
             ),
         },
     ),

@@ -28,14 +28,21 @@ from __future__ import annotations
 import enum
 
 from repro.algebra.central import create_central_plan
-from repro.algebra.cost import CostModel, estimate_plan
+from repro.algebra.cost import (
+    CostModel,
+    estimate_nodes,
+    estimate_plan,
+    model_from_observations,
+)
 from repro.algebra.explain import render_plan
 from dataclasses import replace as _replace
 
 from repro.algebra.interpreter import ExecutionContext
+from repro.algebra.optimizer import OptimizerConfig, create_cost_based_plan
 from repro.algebra.plan import AdaptationParams, PlanNode
 from repro.cache import CacheConfig, aggregate_stats
 from repro.calculus.generator import generate_calculus
+from repro.calculus.rewrite import rewrite_unfittable
 from repro.fdb.catalog import Catalog
 from repro.parallel.batching import message_stats_from_trace
 from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
@@ -114,10 +121,11 @@ class WSMED:
         # invalidate cached plans and condemn warm pools.  Must exist
         # before the constructor registers the built-in views below.
         self._replace_listeners: list = []
-        # Lazily computed by _profile_call_costs(); the registry's cost
-        # profiles are fixed at construction, so one computation serves
-        # every explain().
+        # Lazily computed by _profile_call_costs() / _profile_fanouts();
+        # invalidated by _notify_replace so a swapped registry (or a
+        # re-imported endpoint with a new profile) is re-profiled.
         self._call_costs: dict[str, float] | None = None
+        self._fanout_hints: dict[str, float] | None = None
         # The paper's helping function (Sec. II.B) ships with the system.
         self.register_helping_function(
             helping_function(
@@ -237,6 +245,11 @@ class WSMED:
         self._replace_listeners.append(listener)
 
     def _notify_replace(self, name: str) -> None:
+        # A replaced definition may come from a re-registered endpoint
+        # whose cost profile changed; drop the lazily cached profile
+        # snapshots so the next explain()/cost_model() re-reads them.
+        self._call_costs = None
+        self._fanout_hints = None
         for listener in self._replace_listeners:
             listener(name.lower())
 
@@ -266,8 +279,11 @@ class WSMED:
         adaptation: AdaptationParams | None,
         name: str,
         obs=NULL_RECORDER,
+        optimize: str = "heuristic",
+        observed: dict[str, tuple[float, float]] | None = None,
+        optimizer_config: OptimizerConfig | None = None,
     ):
-        """One compilation pass: returns ``(calculus, plan)``.
+        """One compilation pass: returns ``(calculus, plan, report)``.
 
         Shared by :meth:`plan` and :meth:`explain` so explain does not
         parse and generate the calculus twice.  ``obs`` (a
@@ -276,8 +292,22 @@ class WSMED:
         Compile spans run on the recorder's wall clock (there is no kernel
         yet), so they form their own root rather than nesting under the
         kernel-clocked query span.
+
+        ``optimize`` selects the central plan creator: ``"heuristic"``
+        (the paper's greedy signature heuristic — the default, identical
+        to the seed behavior) or ``"cost"`` (the cost-based optimizer of
+        :mod:`repro.algebra.optimizer`, with access-path rewriting of
+        unfittable binding patterns).  ``observed`` overlays measured
+        per-function ``(call cost, fanout)`` statistics onto the profiled
+        cost model — the resident engine feeds its
+        :class:`~repro.services.broker.CallStats` back through this.
+        ``report`` is ``None`` for heuristic compilations.
         """
         mode = ExecutionMode.of(mode)
+        if optimize not in ("heuristic", "cost"):
+            raise PlanError(
+                f"unknown optimize level {optimize!r}; use heuristic or cost"
+            )
         root = current = -1
         if obs.enabled:
             root = obs.start(
@@ -300,13 +330,30 @@ class WSMED:
             query = parse_query(sql_text)
             obs.finish(current)
             phase("calculus")
-            calculus = generate_calculus(query, self.functions, name)
+            if optimize == "cost":
+                calculus = generate_calculus(
+                    query, self.functions, name, allow_unbound=True
+                )
+                calculus, rewrites = rewrite_unfittable(calculus, self.functions)
+            else:
+                calculus = generate_calculus(query, self.functions, name)
+                rewrites = []
             obs.finish(current)
             phase("algebra")
-            central = create_central_plan(calculus, self.functions)
+            if optimize == "cost":
+                central, report = create_cost_based_plan(
+                    calculus,
+                    self.functions,
+                    self.cost_model(observed),
+                    optimizer_config,
+                    rewrites=rewrites,
+                )
+            else:
+                central = create_central_plan(calculus, self.functions)
+                report = None
             obs.finish(current)
             if mode is ExecutionMode.CENTRAL:
-                return calculus, central
+                return calculus, central, report
             phase("parallelize")
             if mode is ExecutionMode.PARALLEL:
                 if fanouts is None:
@@ -327,7 +374,7 @@ class WSMED:
                     obs_parent=current,
                 )
             obs.finish(current)
-            return calculus, plan
+            return calculus, plan, report
         finally:
             if obs.enabled:
                 obs.finish(current)  # no-op unless a phase failed mid-way
@@ -342,15 +389,19 @@ class WSMED:
         adaptation: AdaptationParams | None = None,
         name: str = "Query",
         obs=NULL_RECORDER,
+        optimize: str = "heuristic",
+        observed: dict[str, tuple[float, float]] | None = None,
     ) -> PlanNode:
         """Compile SQL down to an executable plan for the given mode."""
-        _, plan = self._compile(
+        _, plan, _ = self._compile(
             sql_text,
             mode=mode,
             fanouts=fanouts,
             adaptation=adaptation,
             name=name,
             obs=obs,
+            optimize=optimize,
+            observed=observed,
         )
         return plan
 
@@ -362,9 +413,27 @@ class WSMED:
         fanouts: list[int] | None = None,
         adaptation: AdaptationParams | None = None,
         name: str = "Query",
+        optimize: str = "heuristic",
+        observed: dict[str, tuple[float, float]] | None = None,
     ) -> str:
-        """Calculus, plan tree and cost estimate as a report."""
-        calculus, plan = self._compile(
+        """Calculus, plan tree and cost estimate as a report.
+
+        With ``optimize="cost"`` the report shows the cost-chosen plan
+        annotated with per-operator estimates, the heuristic plan it was
+        compared against, and any access-path rewrites applied (with the
+        binding-pattern reason) — or, when the heuristic pipeline cannot
+        plan the query at all, the error the rewrite repaired.
+        """
+        if optimize == "cost":
+            return self._explain_cost(
+                sql_text,
+                mode=mode,
+                fanouts=fanouts,
+                adaptation=adaptation,
+                name=name,
+                observed=observed,
+            )
+        calculus, plan, _ = self._compile(
             sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
         )
         model = CostModel(call_costs=self._profile_call_costs())
@@ -383,6 +452,90 @@ class WSMED:
         ]
         return "\n".join(sections)
 
+    def _explain_cost(
+        self,
+        sql_text: str,
+        *,
+        mode: ExecutionMode | str,
+        fanouts: list[int] | None,
+        adaptation: AdaptationParams | None,
+        name: str,
+        observed: dict[str, tuple[float, float]] | None,
+    ) -> str:
+        """The cost-based explain: chosen plan vs heuristic plan."""
+        from repro.util.errors import BindingError
+
+        calculus, plan, report = self._compile(
+            sql_text,
+            mode=mode,
+            fanouts=fanouts,
+            adaptation=adaptation,
+            name=name,
+            optimize="cost",
+            observed=observed,
+        )
+        model = self.cost_model(observed)
+        annotations = {
+            node_id: (
+                f"  -- in≈{e.input_cardinality:.1f} out≈{e.output_cardinality:.1f}"
+                + (f" calls≈{e.calls:.0f} time≈{e.time:.1f}s" if e.calls else "")
+            )
+            for node_id, e in estimate_nodes(plan, self.functions, model).items()
+        }
+        sections = [
+            "-- calculus --",
+            calculus.to_text(),
+            "",
+            "-- cost-based plan --",
+            render_plan(plan, annotations=annotations),
+            "",
+            "-- optimizer --",
+            report.describe() if report is not None else "(no report)",
+        ]
+        estimate = report.estimate if report is not None else None
+        if estimate is not None:
+            sections += [
+                "",
+                "-- estimate (cost-based) --",
+                "web service calls: "
+                + ", ".join(
+                    f"{op}={calls:.0f}"
+                    for op, calls in sorted(estimate.calls.items())
+                ),
+                f"sequential time: ~{estimate.sequential_time:.1f} s",
+            ]
+        sections += ["", "-- heuristic plan --"]
+        try:
+            _, heuristic_plan, _ = self._compile(
+                sql_text,
+                mode=mode,
+                fanouts=fanouts,
+                adaptation=adaptation,
+                name=name,
+            )
+        except BindingError as error:
+            sections.append(f"(not plannable without rewrites: {error})")
+        else:
+            sections.append(render_plan(heuristic_plan))
+            heuristic = estimate_plan(heuristic_plan, self.functions, model)
+            sections += [
+                "",
+                "-- estimate (heuristic) --",
+                "web service calls: "
+                + ", ".join(
+                    f"{op}={calls:.0f}"
+                    for op, calls in sorted(heuristic.calls.items())
+                ),
+                f"sequential time: ~{heuristic.sequential_time:.1f} s",
+            ]
+            if estimate is not None and heuristic.sequential_time > 0:
+                ratio = estimate.sequential_time / heuristic.sequential_time
+                sections.append(
+                    f"cost-based vs heuristic: {ratio:.2f}x estimated "
+                    "sequential time"
+                )
+        return "\n".join(sections)
+
     def _profile_call_costs(self) -> dict[str, float]:
         if self._call_costs is None:
             costs = {}
@@ -391,6 +544,34 @@ class WSMED:
                     costs[operation] = profile.sequential_call_time()
             self._call_costs = costs
         return self._call_costs
+
+    def _profile_fanouts(self) -> dict[str, float]:
+        """Advisory rows-per-call hints from the endpoint profiles."""
+        if self._fanout_hints is None:
+            hints = {}
+            for service_costs in self.registry.costs.values():
+                for operation, profile in service_costs.operations.items():
+                    if profile.fanout_hint is not None:
+                        hints[operation] = profile.fanout_hint
+            self._fanout_hints = hints
+        return self._fanout_hints
+
+    def cost_model(
+        self, observed: dict[str, tuple[float, float]] | None = None
+    ) -> CostModel:
+        """The optimizer's cost model: profiled costs + fanout hints.
+
+        ``observed`` overlays measured per-function ``(call cost,
+        fanout)`` pairs — see
+        :func:`repro.algebra.cost.model_from_observations`.
+        """
+        model = CostModel(
+            fanouts=dict(self._profile_fanouts()),
+            call_costs=dict(self._profile_call_costs()),
+        )
+        if observed:
+            model = model_from_observations(model, observed)
+        return model
 
     # -- execution -----------------------------------------------------------------------
 
@@ -410,6 +591,8 @@ class WSMED:
         faults: FaultInjection | None = None,
         name: str = "Query",
         obs: NullRecorder | None = None,
+        optimize: str = "heuristic",
+        observed: dict[str, tuple[float, float]] | None = None,
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
 
@@ -430,16 +613,22 @@ class WSMED:
         exposes as ``QueryResult.spans`` (see ``critical_path()`` and
         ``chrome_trace()``).  The default no-op recorder leaves the
         execution byte-for-byte identical to an untraced run.
+        ``optimize="cost"`` plans with the cost-based optimizer (and
+        access-path rewriting) instead of the default greedy heuristic;
+        ``observed`` overlays measured per-function (call cost, fanout)
+        statistics onto the optimizer's cost model.
         """
         mode = ExecutionMode.of(mode)
         recorder = obs if obs is not None else NULL_RECORDER
-        _, plan = self._compile(
+        _, plan, _ = self._compile(
             sql_text,
             mode=mode,
             fanouts=fanouts,
             adaptation=adaptation,
             name=name,
             obs=recorder,
+            optimize=optimize,
+            observed=observed,
         )
         effective_costs = process_costs or self.process_costs
         if on_error is not None:
