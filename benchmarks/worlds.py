@@ -1,0 +1,403 @@
+"""Parameterized synthetic worlds for the workload-diversity benches.
+
+A :class:`WorldSpec` describes a family of dependent-call chains:
+
+* ``chains`` root operations (``Chain0Root`` …), each producing ``roots``
+  rows with a ``key``, a ``tag`` drawn from a small shared vocabulary,
+  and a numeric ``score``;
+* below each root, ``depth`` dependent step operations
+  (``Chain0Step1(parent) -> rows`` …) expanding every parent key into
+  ``fanout``-ish child rows — the classic WSMED dependent-call shape;
+* optional latency skew (deeper levels are slower) and flaky operations
+  (the first invocation per argument raises a *retriable*
+  :class:`~repro.util.errors.ServiceFault`, so ``retries >= 1`` heals
+  them deterministically).
+
+Everything is driven by one ``random.Random(seed)``, so a spec names a
+world reproducibly.  The generated in-memory tables stay exposed on the
+:class:`World` (``root_rows``, ``step_rows``) for the naive reference
+evaluator the equivalence tests diff against.
+
+The shared ``tag`` column makes joins across chains meaningful; ``score``
+feeds the aggregate queries.  :meth:`World.build` returns a ready
+:class:`~repro.wsmed.system.WSMED` with every chain imported.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.services.latency import EndpointProfile
+from repro.services.registry import ServiceCosts, build_registry
+from repro.util.errors import ServiceFault
+from repro.wsmed.system import WSMED
+
+TAG_POOL = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta")
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Knobs for one synthetic world (all defaults deliberately small)."""
+
+    seed: int = 7
+    chains: int = 2  # independent root operations
+    depth: int = 2  # dependent step levels below each root
+    roots: int = 5  # rows per root call
+    fanout: int = 3  # mean child rows per step call
+    tags: int = 4  # size of the shared tag vocabulary (<= len(TAG_POOL))
+    skew: float = 0.0  # deeper levels run (1 + skew * level) times slower
+    flaky_ops: int = 0  # step operations that fail transiently
+    flaky_tries: int = 1  # failed attempts per argument before success
+    base_service_time: float = 0.05
+    capacity: int = 40
+
+    def __post_init__(self) -> None:
+        if self.chains < 1 or self.depth < 0 or self.roots < 1:
+            raise ValueError(f"degenerate world spec: {self}")
+        if self.tags < 1 or self.tags > len(TAG_POOL):
+            raise ValueError(f"tags must be in 1..{len(TAG_POOL)}")
+
+
+def _root_op(chain: int) -> str:
+    return f"Chain{chain}Root"
+
+
+def _step_op(chain: int, level: int) -> str:
+    return f"Chain{chain}Step{level}"
+
+
+_WSDL_HEADER = """\
+<definitions name="{service}" targetNamespace="urn:bench:{lower}">
+  <types>
+    <schema>
+"""
+
+_ROOT_TYPES = """\
+      <element name="{op}">
+        <complexType><sequence/></complexType>
+      </element>
+      <element name="{op}Response">
+        <complexType><sequence>
+          <element name="{op}Result">
+            <complexType><sequence>
+              <element name="Row" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="key" type="xsd:string"/>
+                  <element name="tag" type="xsd:string"/>
+                  <element name="score" type="xsd:int"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+"""
+
+_STEP_TYPES = """\
+      <element name="{op}">
+        <complexType><sequence>
+          <element name="parent" type="xsd:string"/>
+        </sequence></complexType>
+      </element>
+      <element name="{op}Response">
+        <complexType><sequence>
+          <element name="{op}Result">
+            <complexType><sequence>
+              <element name="Row" maxOccurs="unbounded">
+                <complexType><sequence>
+                  <element name="key" type="xsd:string"/>
+                  <element name="tag" type="xsd:string"/>
+                  <element name="score" type="xsd:int"/>
+                </sequence></complexType>
+              </element>
+            </sequence></complexType>
+          </element>
+        </sequence></complexType>
+      </element>
+"""
+
+_OPERATION = """\
+    <operation name="{op}">
+      <input element="{op}"/>
+      <output element="{op}Response"/>
+    </operation>
+"""
+
+
+def _chain_wsdl(service: str, chain: int, depth: int) -> str:
+    ops = [_root_op(chain)] + [_step_op(chain, level) for level in range(1, depth + 1)]
+    parts = [_WSDL_HEADER.format(service=service, lower=service.lower())]
+    parts.append(_ROOT_TYPES.format(op=ops[0]))
+    for op in ops[1:]:
+        parts.append(_STEP_TYPES.format(op=op))
+    parts.append("    </schema>\n  </types>\n")
+    parts.append(f'  <portType name="{service}Soap">\n')
+    for op in ops:
+        parts.append(_OPERATION.format(op=op))
+    parts.append("  </portType>\n")
+    parts.append(f'  <service name="{service}">\n')
+    parts.append(f'    <port name="{service}Soap"/>\n')
+    parts.append("  </service>\n</definitions>\n")
+    return "".join(parts)
+
+
+class ChainProvider:
+    """One chain's simulated service, answering from the world's tables."""
+
+    def __init__(self, world: "World", chain: int) -> None:
+        self.world = world
+        self.chain = chain
+        self.uri = f"http://sim.example.com/chain{chain}.wsdl"
+        self._wsdl = _chain_wsdl(
+            f"Chain{chain}Service", chain, world.spec.depth
+        )
+        self._attempts: dict[tuple[str, str], int] = {}
+
+    def wsdl_text(self) -> str:
+        return self._wsdl
+
+    def invoke(self, operation: str, arguments: list) -> dict:
+        if operation == _root_op(self.chain):
+            rows = self.world.root_rows[self.chain]
+        else:
+            level = self._level_of(operation)
+            (parent,) = arguments
+            if operation in self.world.flaky:
+                count = self._attempts.get((operation, parent), 0)
+                self._attempts[(operation, parent)] = count + 1
+                if count < self.world.spec.flaky_tries:
+                    raise ServiceFault(
+                        f"{operation}({parent!r}) transient failure "
+                        f"{count + 1}/{self.world.spec.flaky_tries}",
+                        retriable=True,
+                    )
+            rows = self.world.step_rows[self.chain][level].get(parent, [])
+        return {f"{operation}Result": {"Row": list(rows)}}
+
+    def _level_of(self, operation: str) -> int:
+        prefix = f"Chain{self.chain}Step"
+        if not operation.startswith(prefix):
+            raise ServiceFault(f"operation {operation!r} not implemented")
+        return int(operation[len(prefix):])
+
+
+@dataclass
+class World:
+    """The generated data plus everything needed to run queries on it."""
+
+    spec: WorldSpec
+    # root_rows[chain] -> list of {key, tag, score}
+    root_rows: list = field(default_factory=list)
+    # step_rows[chain][level][parent_key] -> list of {key, tag, score}
+    step_rows: list = field(default_factory=list)
+    flaky: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.spec.seed)
+        tags = TAG_POOL[: self.spec.tags]
+        for chain in range(self.spec.chains):
+            roots = [
+                {
+                    "key": f"c{chain}r{index}",
+                    "tag": rng.choice(tags),
+                    "score": rng.randint(0, 99),
+                }
+                for index in range(self.spec.roots)
+            ]
+            self.root_rows.append(roots)
+            levels: dict[int, dict[str, list]] = {}
+            parents = [row["key"] for row in roots]
+            for level in range(1, self.spec.depth + 1):
+                table: dict[str, list] = {}
+                children: list[str] = []
+                for parent in parents:
+                    count = max(0, self.spec.fanout + rng.randint(-1, 1))
+                    rows = [
+                        {
+                            "key": f"{parent}.{level}n{index}",
+                            "tag": rng.choice(tags),
+                            "score": rng.randint(0, 99),
+                        }
+                        for index in range(count)
+                    ]
+                    table[parent] = rows
+                    children.extend(row["key"] for row in rows)
+                levels[level] = table
+                parents = children
+            self.step_rows.append(levels)
+        step_ops = [
+            _step_op(chain, level)
+            for chain in range(self.spec.chains)
+            for level in range(1, self.spec.depth + 1)
+        ]
+        rng.shuffle(step_ops)
+        self.flaky = frozenset(step_ops[: self.spec.flaky_ops])
+
+    # -- wiring into WSMED -------------------------------------------------
+
+    def providers(self) -> tuple:
+        return tuple(
+            (lambda chain: lambda geodata: ChainProvider(self, chain))(c)
+            for c in range(self.spec.chains)
+        )
+
+    def costs(self) -> dict[str, ServiceCosts]:
+        spec = self.spec
+        result = {}
+        for chain in range(spec.chains):
+            operations = {
+                _root_op(chain): self._profile(0, float(spec.roots)),
+            }
+            for level in range(1, spec.depth + 1):
+                operations[_step_op(chain, level)] = self._profile(
+                    level, float(spec.fanout)
+                )
+            result[f"Chain{chain}Service"] = ServiceCosts(
+                capacity=spec.capacity, operations=operations
+            )
+        return result
+
+    def _profile(self, level: int, fanout_hint: float) -> EndpointProfile:
+        service_time = self.spec.base_service_time * (
+            1.0 + self.spec.skew * level
+        )
+        return EndpointProfile(
+            rtt=0.01,
+            setup=0.0,
+            service_time=service_time,
+            jitter=0.0,
+            fanout_hint=fanout_hint,
+        )
+
+    def build(self, profile: str = "fast", **registry_kwargs) -> WSMED:
+        """A WSMED with every chain service imported."""
+        registry = build_registry(
+            profile,
+            extra_providers=self.providers(),
+            extra_costs=self.costs(),
+            **registry_kwargs,
+        )
+        wsmed = WSMED(registry)
+        for provider_uri in [
+            f"http://sim.example.com/chain{c}.wsdl"
+            for c in range(self.spec.chains)
+        ]:
+            wsmed.import_wsdl(provider_uri)
+        return wsmed
+
+    # -- canonical query shapes -------------------------------------------
+
+    def chain_sql(self, chain: int = 0, *, limit: int | None = None) -> str:
+        """Expand one full chain; optionally LIMIT the result."""
+        froms, conds, last = self._chain_fragment(chain, "a")
+        sql = (
+            f"SELECT {last}.key, {last}.score\n"
+            f"FROM   {', '.join(froms)}\n"
+            + (f"WHERE  {' AND '.join(conds)}\n" if conds else "")
+        )
+        if limit is not None:
+            sql += f"LIMIT {limit}\n"
+        return sql
+
+    def join_sql(self, left: int = 0, right: int = 1) -> str:
+        """Join two chains' leaf levels on the shared tag column."""
+        lf, lc, ll = self._chain_fragment(left, "a")
+        rf, rc, rl = self._chain_fragment(right, "b")
+        conds = lc + rc + [f"{ll}.tag = {rl}.tag"]
+        return (
+            f"SELECT {ll}.key AS left_key, {rl}.key AS right_key\n"
+            f"FROM   {', '.join(lf + rf)}\n"
+            f"WHERE  {' AND '.join(conds)}\n"
+        )
+
+    def aggregate_sql(self, chain: int = 0) -> str:
+        """Group the chain's leaves by tag; count and sum scores."""
+        froms, conds, last = self._chain_fragment(chain, "a")
+        return (
+            f"SELECT {last}.tag, COUNT(*), SUM({last}.score), MAX({last}.score)\n"
+            f"FROM   {', '.join(froms)}\n"
+            + (f"WHERE  {' AND '.join(conds)}\n" if conds else "")
+            + f"GROUP BY {last}.tag\n"
+        )
+
+    def or_sql(self, chain: int = 0) -> str:
+        """Disjunctive tag filter over the chain's leaves."""
+        froms, conds, last = self._chain_fragment(chain, "a")
+        tags = TAG_POOL[: self.spec.tags]
+        branch = f"({last}.tag = '{tags[0]}' OR {last}.tag = '{tags[-1]}')"
+        where = " AND ".join(conds + [branch])
+        return (
+            f"SELECT {last}.key, {last}.tag\n"
+            f"FROM   {', '.join(froms)}\n"
+            f"WHERE  {where}\n"
+        )
+
+    def _chain_fragment(
+        self, chain: int, prefix: str
+    ) -> tuple[list[str], list[str], str]:
+        """FROM items, join conditions, and the leaf alias for one chain."""
+        froms = [f"{_root_op(chain)} {prefix}0"]
+        conds = []
+        for level in range(1, self.spec.depth + 1):
+            froms.append(f"{_step_op(chain, level)} {prefix}{level}")
+            conds.append(f"{prefix}{level}.parent = {prefix}{level - 1}.key")
+        return froms, conds, f"{prefix}{self.spec.depth}"
+
+    # -- the naive reference answer ---------------------------------------
+
+    def expand_chain(self, chain: int) -> list[dict]:
+        """Leaf rows of one chain, computed directly from the tables."""
+        rows = list(self.root_rows[chain])
+        for level in range(1, self.spec.depth + 1):
+            table = self.step_rows[chain][level]
+            rows = [
+                child
+                for parent in rows
+                for child in table.get(parent["key"], [])
+            ]
+        return rows
+
+    def reference_chain(self, chain: int = 0) -> list[tuple]:
+        """The row bag :meth:`chain_sql` must produce."""
+        return sorted(
+            (row["key"], row["score"]) for row in self.expand_chain(chain)
+        )
+
+    def reference_join(self, left: int = 0, right: int = 1) -> list[tuple]:
+        """The row bag :meth:`join_sql` must produce (hash join on tag)."""
+        by_tag: dict[str, list] = {}
+        for row in self.expand_chain(right):
+            by_tag.setdefault(row["tag"], []).append(row["key"])
+        return sorted(
+            (row["key"], other)
+            for row in self.expand_chain(left)
+            for other in by_tag.get(row["tag"], [])
+        )
+
+    def reference_aggregate(self, chain: int = 0) -> list[tuple]:
+        """The row bag :meth:`aggregate_sql` must produce."""
+        groups: dict[str, list] = {}
+        for row in self.expand_chain(chain):
+            groups.setdefault(row["tag"], []).append(row["score"])
+        return sorted(
+            (tag, len(scores), sum(scores), max(scores))
+            for tag, scores in groups.items()
+        )
+
+    def reference_or(self, chain: int = 0) -> list[tuple]:
+        """The row bag :meth:`or_sql` must produce (distinct union)."""
+        tags = TAG_POOL[: self.spec.tags]
+        wanted = {tags[0], tags[-1]}
+        return sorted(
+            {
+                (row["key"], row["tag"])
+                for row in self.expand_chain(chain)
+                if row["tag"] in wanted
+            }
+        )
+
+
+def build_world(spec: WorldSpec | None = None, **spec_kwargs) -> World:
+    """Convenience: ``build_world(depth=3, flaky_ops=1)``."""
+    return World(spec or WorldSpec(**spec_kwargs))

@@ -57,7 +57,8 @@ from repro.runtime.realtime import AsyncioKernel
 from repro.runtime.simulated import SimKernel
 from repro.services.geodata import GeoConfig, GeoDatabase
 from repro.services.registry import ServiceRegistry, build_registry
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, SqlError
+from repro.wsmed.options import QueryOptions
 from repro.wsmed.results import QueryResult
 from repro.wsmed.system import WSMED, ExecutionMode
 
@@ -113,6 +114,8 @@ __all__ = [
     "ServiceRegistry",
     "build_registry",
     "ReproError",
+    "SqlError",
+    "QueryOptions",
     "QueryResult",
     "QueryEngine",
     "AdmissionConfig",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.algebra.expressions import ColExpr, columns_of, expr_from_calculus
 from repro.algebra.plan import (
+    AggregateNode,
     ApplyNode,
     DistinctNode,
     FilterNode,
@@ -330,11 +331,36 @@ class _Builder:
         return ProjectNode(plan, tuple((column, ColExpr(column)) for column in keep))
 
     def _project_head(self, plan: PlanNode) -> PlanNode:
+        if self.calculus.has_aggregates():
+            return self._aggregate_head(plan)
         items = tuple(
             (item.name, expr_from_calculus(item.expression))
             for item in self.calculus.head
         )
         return ProjectNode(plan, items)
+
+    def _aggregate_head(self, plan: PlanNode) -> PlanNode:
+        """Replace the head projection with a hash aggregation.
+
+        Grouping keys and aggregates appear in select-list order; the
+        calculus generator has already verified every non-aggregated head
+        item is a GROUP BY key.
+        """
+        keys = set(self.calculus.group_by)
+        items = tuple(
+            (
+                item.name,
+                "key" if item.aggregate is None else item.aggregate,
+                expr_from_calculus(item.expression),
+            )
+            for item in self.calculus.head
+        )
+        for name, kind, _ in items:
+            if kind == "key" and name not in keys:
+                raise PlanError(
+                    f"non-aggregated column {name!r} missing from GROUP BY"
+                )
+        return AggregateNode(plan, items)
 
     def _post_process(self, plan: PlanNode) -> PlanNode:
         """DISTINCT / ORDER BY / LIMIT above the head projection."""

@@ -14,13 +14,19 @@ from dataclasses import dataclass, field
 
 from repro.algebra.plan import (
     AFFApplyNode,
+    AggregateNode,
     ApplyNode,
     FFApplyNode,
     FilterNode,
     JoinNode,
     MapNode,
     PlanNode,
+    UnionNode,
 )
+
+#: Assumed grouping reduction: a GROUP BY emits roughly this fraction of
+#: its input rows (a global aggregate always emits exactly one row).
+GROUP_REDUCTION = 0.1
 from repro.fdb.functions import FunctionKind, FunctionRegistry
 
 
@@ -159,6 +165,20 @@ def _annotate(
         out_card = max(1.0, min(left_card, right_card)) * model.selectivity * 2.0
         estimates[id(node)] = NodeEstimate(left_card + right_card, out_card)
         return out_card
+    if isinstance(node, AggregateNode):
+        in_card = _annotate(node.child, registry, model, estimates)
+        out_card = (
+            1.0 if not node.key_items else max(1.0, in_card * GROUP_REDUCTION)
+        )
+        estimates[id(node)] = NodeEstimate(in_card, out_card)
+        return out_card
+    if isinstance(node, UnionNode):
+        in_card = sum(
+            _annotate(branch, registry, model, estimates)
+            for branch in node.inputs
+        )
+        estimates[id(node)] = NodeEstimate(in_card, in_card)
+        return in_card
     if isinstance(node, (FFApplyNode, AFFApplyNode)):
         in_card = _annotate(node.child, registry, model, estimates)
         body = PlanEstimate()
@@ -205,6 +225,16 @@ def _walk(
         right_card = _walk(node.right, registry, model, estimate)
         # Equi-join cardinality estimate: the smaller side keys the match.
         return max(1.0, min(left_card, right_card)) * model.selectivity * 2.0
+    if isinstance(node, AggregateNode):
+        in_card = _walk(node.child, registry, model, estimate)
+        if not node.key_items:
+            return 1.0
+        return max(1.0, in_card * GROUP_REDUCTION)
+    if isinstance(node, UnionNode):
+        # Branch service calls all execute; duplicates are removed above.
+        return sum(
+            _walk(branch, registry, model, estimate) for branch in node.inputs
+        )
     if isinstance(node, (FFApplyNode, AFFApplyNode)):
         in_card = _walk(node.child, registry, model, estimate)
         # The shipped body runs once per parameter tuple.

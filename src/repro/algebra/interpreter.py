@@ -19,6 +19,7 @@ from repro.algebra.expressions import compile_expr
 from repro.cache import CacheConfig, CallCache
 from repro.algebra.plan import (
     AFFApplyNode,
+    AggregateNode,
     ApplyNode,
     DistinctNode,
     FFApplyNode,
@@ -31,6 +32,7 @@ from repro.algebra.plan import (
     ProjectNode,
     SingletonNode,
     SortNode,
+    UnionNode,
 )
 from repro.fdb.functions import FunctionKind, FunctionRegistry
 from repro.obs.spans import NULL_RECORDER, NullRecorder
@@ -109,6 +111,11 @@ class ExecutionContext:
     # and the execution fingerprint seed-identical.  Typed loosely
     # because the placement layer sits above this module.
     placement: Optional[object] = None
+    # LIMIT pushdown: a LimitNode directly above an FF/AFF operator asks
+    # the pool to stop dispatching parameter tuples once the limit is
+    # provably satisfiable.  The result rows are identical either way (the
+    # first k rows in arrival order); disabling only affects call counts.
+    limit_pushdown: bool = True
 
     def next_process_name(self) -> str:
         self._name_counter[0] += 1
@@ -231,7 +238,21 @@ async def iterate_plan(
         if node.count == 0:
             return
         emitted = 0
-        source = iterate_plan(node.child, ctx, param_row)
+        if (
+            ctx.limit_pushdown
+            and ctx.parallel_handler is not None
+            and isinstance(node.child, (FFApplyNode, AFFApplyNode))
+        ):
+            # LIMIT pushdown: ask the pool to stop dispatching parameter
+            # tuples once `count` rows exist.  The pool drains its
+            # in-flight calls and ends normally, so no GeneratorExit has
+            # to tear through the operator tree.
+            inner = iterate_plan(node.child.child, ctx, param_row)
+            source = ctx.parallel_handler(
+                node.child, inner, ctx, stop_after=node.count
+            )
+        else:
+            source = iterate_plan(node.child, ctx, param_row)
         try:
             async for row in source:
                 yield row
@@ -242,6 +263,53 @@ async def iterate_plan(
             # Stop consuming: propagate GeneratorExit down the chain so
             # parallel operators cancel their input pumps.
             await source.aclose()
+        return
+
+    if isinstance(node, AggregateNode):
+        # Streaming hash aggregation: one accumulator row per key, groups
+        # emitted in first-seen order.  A global aggregate (no keys) emits
+        # exactly one row even over empty input (COUNT(*) = 0, others NULL).
+        item_fns = [
+            (kind, compile_expr(expression, node.child.schema))
+            for _, kind, expression in node.items
+        ]
+        groups: dict[tuple, list] = {}
+        key_indexes = [i for i, (kind, _) in enumerate(item_fns) if kind == "key"]
+        async for row in iterate_plan(node.child, ctx, param_row):
+            values = [fn(row) for _, fn in item_fns]
+            key = tuple(values[i] for i in key_indexes)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                groups[key] = [
+                    _agg_init(kind, value)
+                    for (kind, _), value in zip(item_fns, values)
+                ]
+            else:
+                for i, ((kind, _), value) in enumerate(zip(item_fns, values)):
+                    accumulators[i] = _agg_step(kind, accumulators[i], value)
+        if not groups and not key_indexes:
+            groups[()] = [_agg_empty(kind) for kind, _ in item_fns]
+        for accumulators in groups.values():
+            yield tuple(
+                _agg_final(kind, accumulator)
+                for (kind, _), accumulator in zip(item_fns, accumulators)
+            )
+        return
+
+    if isinstance(node, UnionNode):
+        # Disjunctive branches run concurrently — their service calls
+        # overlap — and rows are emitted in branch order, so the stream is
+        # deterministic regardless of which branch finishes first.  The
+        # planner puts a DistinctNode above for set semantics.
+        tasks = [
+            ctx.kernel.spawn(
+                collect_rows(branch, ctx, param_row), name=f"union-{i}"
+            )
+            for i, branch in enumerate(node.inputs)
+        ]
+        for task in tasks:
+            for row in await task.join():
+                yield row
         return
 
     if isinstance(node, JoinNode):
@@ -279,6 +347,42 @@ async def iterate_plan(
         return
 
     raise PlanError(f"cannot interpret plan node {node!r}")
+
+
+def _agg_init(kind: str, value: Any) -> Any:
+    """First-row accumulator for one aggregate column."""
+    if kind in ("key", "sum", "min", "max"):
+        return value
+    if kind == "count":
+        return 1
+    return [value, 1]  # avg: running (sum, count)
+
+
+def _agg_step(kind: str, accumulator: Any, value: Any) -> Any:
+    if kind == "key":
+        return accumulator
+    if kind == "count":
+        return accumulator + 1
+    if kind == "sum":
+        return accumulator + value
+    if kind == "min":
+        return value if value < accumulator else accumulator
+    if kind == "max":
+        return value if value > accumulator else accumulator
+    accumulator[0] += value
+    accumulator[1] += 1
+    return accumulator
+
+
+def _agg_final(kind: str, accumulator: Any) -> Any:
+    if kind == "avg" and accumulator is not None:
+        return accumulator[0] / accumulator[1]
+    return accumulator
+
+
+def _agg_empty(kind: str) -> Any:
+    """Global-aggregate result over zero rows: COUNT is 0, the rest NULL."""
+    return 0 if kind == "count" else None
 
 
 async def collect_rows(

@@ -327,6 +327,105 @@ class LimitNode(PlanNode):
         return {"kind": "limit", "child": self.child.to_dict(), "count": self.count}
 
 
+#: Aggregate kinds understood by :class:`AggregateNode` ("key" marks a
+#: grouping column, the rest are accumulator kinds).
+_AGGREGATE_KINDS = ("key", "count", "sum", "min", "max", "avg")
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Streaming hash aggregation with GROUP BY.
+
+    ``items`` is the ordered output column list: ``(name, kind, expr)``
+    where ``kind`` is ``"key"`` for a grouping column (the expression is
+    the key value) or an accumulator kind (``count``/``sum``/``min``/
+    ``max``/``avg``; the expression is the aggregated operand, a constant
+    ``1`` for ``COUNT(*)``).  No ``"key"`` items means one global group:
+    the node emits exactly one row, even over an empty input.
+
+    Blocking: groups only close when the input ends, so the node always
+    runs in the coordinator, never inside a shipped plan function.
+    """
+
+    child: PlanNode
+    items: tuple[tuple[str, str, RowExpr], ...]
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise PlanError("aggregate requires at least one output item")
+        names = [name for name, _, _ in self.items]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate aggregate output columns: {names}")
+        for name, kind, _ in self.items:
+            if kind not in _AGGREGATE_KINDS:
+                raise PlanError(
+                    f"unknown aggregate kind {kind!r} for column {name!r}"
+                )
+        self.schema = tuple(names)
+
+    @property
+    def key_items(self) -> tuple[tuple[str, str, RowExpr], ...]:
+        return tuple(item for item in self.items if item[1] == "key")
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        rendered = ", ".join(
+            name if kind == "key" else f"{name}={kind}({render_expr(expr)})"
+            for name, kind, expr in self.items
+        )
+        return f"Γ {rendered}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "aggregate",
+            "child": self.child.to_dict(),
+            "items": [
+                [name, kind, expr_to_dict(expr)]
+                for name, kind, expr in self.items
+            ],
+        }
+
+
+@dataclass
+class UnionNode(PlanNode):
+    """Bag union of same-schema sub-plans (the branches of an ``OR``).
+
+    All inputs run concurrently; rows are emitted in branch order.  The
+    planner always places a :class:`DistinctNode` above it, giving the
+    dialect's documented set semantics for disjunction.
+    """
+
+    inputs: tuple[PlanNode, ...]
+    schema: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) < 2:
+            raise PlanError("union requires at least two inputs")
+        first = tuple(self.inputs[0].schema)
+        for branch in self.inputs[1:]:
+            if tuple(branch.schema) != first:
+                raise PlanError(
+                    f"union inputs have mismatched schemas: {first} vs "
+                    f"{tuple(branch.schema)}"
+                )
+        self.schema = first
+
+    def children(self) -> list[PlanNode]:
+        return list(self.inputs)
+
+    def label(self) -> str:
+        return f"∪ {len(self.inputs)} branches"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "union",
+            "inputs": [branch.to_dict() for branch in self.inputs],
+        }
+
+
 @dataclass
 class JoinNode(PlanNode):
     """Hash equi-join of two *independent* sub-plans.
@@ -537,6 +636,18 @@ def plan_from_dict(data: dict) -> PlanNode:
         )
     if kind == "limit":
         return LimitNode(child=plan_from_dict(data["child"]), count=data["count"])
+    if kind == "aggregate":
+        return AggregateNode(
+            child=plan_from_dict(data["child"]),
+            items=tuple(
+                (name, agg_kind, expr_from_dict(expr))
+                for name, agg_kind, expr in data["items"]
+            ),
+        )
+    if kind == "union":
+        return UnionNode(
+            inputs=tuple(plan_from_dict(branch) for branch in data["inputs"])
+        )
     if kind == "join":
         return JoinNode(
             left=plan_from_dict(data["left"]),

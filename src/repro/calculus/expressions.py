@@ -105,12 +105,20 @@ class HeadItem:
     Usually the expression is a plain :class:`Var`; selecting an *input*
     column of a view (like Query2's ``gp.zip``) projects the expression
     that binds it.
+
+    ``aggregate`` marks an aggregated column (``count``/``sum``/``min``/
+    ``max``/``avg``): the expression is then the aggregated operand
+    (``Const(1)`` for ``COUNT(*)``) and the query's ``group_by`` names
+    the grouping keys.  ``None`` means a plain projected column.
     """
 
     name: str
     expression: ArgExpr
+    aggregate: str | None = None
 
     def __str__(self) -> str:
+        if self.aggregate is not None:
+            return f"{self.name}={self.aggregate}({self.expression})"
         if isinstance(self.expression, Var) and self.expression.name == self.name:
             return self.name
         return f"{self.name}={self.expression}"
@@ -139,6 +147,13 @@ class CalculusQuery:
     order_by: tuple[tuple[str, bool], ...] = ()
     limit: int | None = None
     unbound: tuple[str, ...] = ()
+    # Grouping keys for aggregated queries: the *head item names* of the
+    # key columns, in GROUP BY order.  Empty means either no aggregation
+    # at all, or a global aggregate (every head item is aggregated).
+    group_by: tuple[str, ...] = ()
+
+    def has_aggregates(self) -> bool:
+        return any(item.aggregate is not None for item in self.head)
 
     def function_predicates(self) -> list[FunctionPredicate]:
         return [p for p in self.predicates if isinstance(p, FunctionPredicate)]

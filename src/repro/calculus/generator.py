@@ -266,6 +266,11 @@ class _Generator:
     # -- assembly --------------------------------------------------------------------
 
     def generate(self) -> CalculusQuery:
+        if self.query.is_disjunctive:
+            raise CalculusError(
+                "disjunctive queries must be split into conjunctive "
+                "branches before calculus generation"
+            )
         self._build_views()
         self._classify_predicates()
 
@@ -299,6 +304,8 @@ class _Generator:
             )
 
         head = tuple(self._head_items())
+        group_by = tuple(self._group_by(head))
+        self._check_aggregation(head, group_by)
         return CalculusQuery(
             name=self.name,
             head=head,
@@ -307,7 +314,54 @@ class _Generator:
             order_by=tuple(self._order_by(head)),
             limit=self.query.limit,
             unbound=tuple(self._unbound),
+            group_by=group_by,
         )
+
+    def _group_by(self, head: tuple[HeadItem, ...]) -> list[str]:
+        """Resolve GROUP BY references to head item names.
+
+        The dialect requires every grouping key to appear in the select
+        list — grouping by a column the query does not project would
+        force a hidden projection through the whole parallel stack for
+        no expressible benefit.
+        """
+        resolved = []
+        for reference in self.query.group_by:
+            if reference.qualifier is None:
+                by_name = [
+                    h
+                    for h in head
+                    if h.aggregate is None
+                    and h.name.lower() == reference.name.lower()
+                ]
+                if len(by_name) == 1:
+                    resolved.append(by_name[0].name)
+                    continue
+            variable = self._substitute(self._to_arg_expr(reference), frozenset())
+            by_var = [
+                h for h in head if h.aggregate is None and h.expression == variable
+            ]
+            if len(by_var) != 1:
+                raise CalculusError(
+                    f"GROUP BY column {reference.to_sql()} must appear in "
+                    "the select list"
+                )
+            resolved.append(by_var[0].name)
+        return resolved
+
+    def _check_aggregation(
+        self, head: tuple[HeadItem, ...], group_by: tuple[str, ...]
+    ) -> None:
+        """Aggregated queries must group every plain projected column."""
+        if not any(item.aggregate is not None for item in head):
+            return
+        keys = set(group_by)
+        for item in head:
+            if item.aggregate is None and item.name not in keys:
+                raise CalculusError(
+                    f"column {item.name!r} must appear in GROUP BY or be "
+                    "wrapped in an aggregate function"
+                )
 
     def _order_by(self, head: tuple[HeadItem, ...]) -> list[tuple[str, bool]]:
         """Resolve ORDER BY references against the select list."""
@@ -325,7 +379,11 @@ class _Generator:
             variable = self._substitute(
                 self._to_arg_expr(reference), frozenset()
             )
-            by_var = [h for h in head if h.expression == variable]
+            # Aggregate items are excluded: their expression is the
+            # *operand* (ORDER BY x must not silently sort by SUM(x)).
+            by_var = [
+                h for h in head if h.aggregate is None and h.expression == variable
+            ]
             if len(by_var) != 1:
                 raise CalculusError(
                     f"ORDER BY column {reference.to_sql()} must appear in "
@@ -345,17 +403,35 @@ class _Generator:
                     )
             return items
         items = []
+        used_names: set[str] = set()
         for index, select_item in enumerate(self.query.select):
-            expression = self._substitute(
-                self._to_arg_expr(select_item.expression), frozenset()
-            )
+            aggregate = None
+            inner = select_item.expression
+            if isinstance(inner, ast.FuncCall):
+                aggregate = inner.function
+                if isinstance(inner.argument, ast.Star):
+                    # COUNT(*): count rows; the operand is a constant.
+                    expression: ArgExpr = Const(1)
+                else:
+                    expression = self._substitute(
+                        self._to_arg_expr(inner.argument), frozenset()
+                    )
+            else:
+                expression = self._substitute(
+                    self._to_arg_expr(inner), frozenset()
+                )
             if select_item.alias:
                 name = select_item.alias
-            elif isinstance(select_item.expression, ast.ColumnRef):
-                name = select_item.expression.name
+            elif isinstance(inner, ast.ColumnRef):
+                name = inner.name
+            elif aggregate is not None and aggregate not in used_names:
+                name = aggregate
             else:
                 name = f"column{index + 1}"
-            items.append(HeadItem(name=name, expression=expression))
+            used_names.add(name)
+            items.append(
+                HeadItem(name=name, expression=expression, aggregate=aggregate)
+            )
         return items
 
 

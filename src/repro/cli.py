@@ -41,6 +41,7 @@ from repro.obs import TraceRecorder
 from repro.parallel.faults import FaultInjection
 from repro.runtime.base import Kernel
 from repro.util.errors import ReproError
+from repro.wsmed.options import QueryOptions
 from repro.wsmed.results import REPORT_SECTIONS, QueryResult
 from repro.wsmed.system import WSMED
 
@@ -149,14 +150,14 @@ class Shell:
             kwargs["kernel"] = self.kernel
         if self.optimize != "heuristic":
             kwargs["optimize"] = self.optimize
-        runner = self.engine.sql if self.engine is not None else self.wsmed.sql
-        result = runner(
-            sql,
+        options = QueryOptions(
             mode=self.mode,
             retries=self.retries,
             cache=self.cache_config,
             **kwargs,
         )
+        runner = self.engine.sql if self.engine is not None else self.wsmed.sql
+        result = runner(sql, options=options)
         self.last_result = result
         self.write(format_table(result, self.max_rows))
         if self.trace_out is not None:
@@ -171,7 +172,8 @@ class Shell:
             kwargs["adaptation"] = self.adaptation
         if self.optimize != "heuristic":
             kwargs["optimize"] = self.optimize
-        self.write(self.wsmed.explain(sql, mode=self.mode, **kwargs))
+        options = QueryOptions(mode=self.mode, **kwargs)
+        self.write(self.wsmed.explain(sql, options=options))
 
     # -- meta commands -----------------------------------------------------------
 

@@ -48,14 +48,14 @@ from repro.engine.shared import ShareConfig, SharedCallCache
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.parallel.batching import message_stats_from_trace
-from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
-from repro.parallel.faults import FaultInjection, fault_stats_from_trace
+from repro.parallel.faults import fault_stats_from_trace
 from repro.parallel.tree import tree_stats_from_trace
 from repro.runtime.base import Kernel
 from repro.runtime.simulated import SimKernel
 from repro.services.broker import CallRecorder
 from repro.util.errors import ReproError
+from repro.wsmed.options import ONE_SHOT_ONLY, QueryOptions, resolve_options
 from repro.wsmed.results import QueryResult
 from repro.wsmed.system import WSMED, ExecutionMode
 
@@ -327,56 +327,99 @@ class QueryEngine:
 
     # -- query execution ------------------------------------------------------------
 
-    def sql(self, sql_text: str, **kwargs) -> QueryResult:
+    #: Options the resident engine rejects: it owns its kernel and broker
+    #: (``kernel``/``fault_rate``) and feeds measured statistics into the
+    #: cost model itself (``observed``).
+    _REJECTED_OPTIONS = frozenset(ONE_SHOT_ONLY | {"observed"})
+
+    def sql(
+        self,
+        sql_text: str,
+        *,
+        options: QueryOptions | None = None,
+        **legacy,
+    ) -> QueryResult:
         """Run one query to completion on the resident kernel.
 
-        Accepts the planning/execution keywords of :meth:`WSMED.sql`
-        (``mode``, ``fanouts``, ``adaptation``, ``retries``, ``cache``,
+        Accepts a :class:`~repro.wsmed.options.QueryOptions` covering the
+        planning/execution fields of :meth:`WSMED.sql` (``mode``,
+        ``fanouts``, ``adaptation``, ``retries``, ``cache``,
         ``process_costs``, ``on_error``, ``faults``, ``name``, ``obs``,
-        ``optimize``) —
-        but not ``kernel`` or ``fault_rate``, which are engine-level
-        here.  Two admission keywords ride along: ``tenant`` (fair-queue
-        identity, default ``"default"``) and ``deadline_ms`` (model
-        milliseconds; under adaptive admission a query whose deadline the
-        measured service rate cannot meet raises
+        ``optimize``, ``limit_pushdown``) — but not ``kernel`` /
+        ``fault_rate`` / ``observed``, which are engine-level here.  The
+        old individual keyword arguments still work but are deprecated.
+        Two admission fields ride along: ``tenant`` (fair-queue identity,
+        default ``"default"``) and ``deadline_ms`` (model milliseconds;
+        under adaptive admission a query whose deadline the measured
+        service rate cannot meet raises
         :class:`~repro.engine.admission.AdmissionRejected` up front).
-        Both are accepted and ignored under static admission.  With ``obs`` a :class:`repro.obs.TraceRecorder`, compile
-        spans appear only on plan-cache misses (a warm hit skips
-        compilation entirely).
+        Both are accepted and ignored under static admission.  With
+        ``obs`` a :class:`repro.obs.TraceRecorder`, compile spans appear
+        only on plan-cache misses (a warm hit skips compilation
+        entirely).
         """
-        return self.kernel.run(self._admitted(sql_text, **kwargs))
+        opts = resolve_options(
+            options, legacy, where="QueryEngine.sql",
+            rejected=self._REJECTED_OPTIONS,
+        )
+        return self.kernel.run(self._admitted(sql_text, opts))
 
-    async def sql_async(self, sql_text: str, **kwargs) -> QueryResult:
+    async def sql_async(
+        self,
+        sql_text: str,
+        *,
+        options: QueryOptions | None = None,
+        **legacy,
+    ) -> QueryResult:
         """Coroutine form of :meth:`sql` for callers already running
         *inside* the resident kernel (e.g. the HTTP front end in
         :mod:`repro.serve`, whose accept loop owns ``kernel.run``)."""
-        return await self._admitted(sql_text, **kwargs)
+        opts = resolve_options(
+            options, legacy, where="QueryEngine.sql_async",
+            rejected=self._REJECTED_OPTIONS,
+        )
+        return await self._admitted(sql_text, opts)
 
     def sql_many(
-        self, queries, *, return_exceptions: bool = False, **common
+        self,
+        queries,
+        *,
+        return_exceptions: bool = False,
+        options: QueryOptions | None = None,
+        **common,
     ) -> list[QueryResult]:
         """Run several queries concurrently on the one kernel.
 
         ``queries`` is a list of SQL strings, or ``(sql, overrides)``
-        pairs where ``overrides`` is a keyword dict merged over
-        ``common``.  All queries are admitted through the engine's
-        admission policy (the static semaphore by default, the adaptive
-        controller when the engine was built with ``admission=``) and
-        results come back in input order.  Per-query ``tenant`` /
-        ``deadline_ms`` overrides thread through to the admission queue.
+        pairs where ``overrides`` is a :class:`QueryOptions` replacing
+        the batch-wide ``options`` for that query, or a field-override
+        dict merged over it.  All queries are admitted through the
+        engine's admission policy (the static semaphore by default, the
+        adaptive controller when the engine was built with
+        ``admission=``) and results come back in input order.  Per-query
+        ``tenant`` / ``deadline_ms`` overrides thread through to the
+        admission queue.
 
         With ``return_exceptions=True`` a failed query — most usefully an
         :class:`AdmissionRejected` shed by the deadline policy — comes
         back as the exception object in its slot instead of destroying
         the whole batch.
         """
+        base = resolve_options(
+            options, common, where="QueryEngine.sql_many",
+            rejected=self._REJECTED_OPTIONS,
+        )
         coros = []
         for query in queries:
             if isinstance(query, str):
-                coros.append(self._admitted(query, **common))
+                coros.append(self._admitted(query, base))
             else:
                 sql_text, overrides = query
-                coros.append(self._admitted(sql_text, **{**common, **overrides}))
+                if isinstance(overrides, QueryOptions):
+                    per_query = overrides
+                else:
+                    per_query = base.replace(**overrides)
+                coros.append(self._admitted(sql_text, per_query))
         if return_exceptions:
             coros = [self._shielded(coro) for coro in coros]
         return self.kernel.run(self.kernel.gather(*coros))
@@ -407,21 +450,21 @@ class QueryEngine:
         self.pool_registry.discard_all()
         self._coordinator_caches.clear()
 
-    async def _admitted(self, sql_text: str, **kwargs) -> QueryResult:
+    async def _admitted(
+        self, sql_text: str, opts: QueryOptions
+    ) -> QueryResult:
         if self._closed:
             raise EngineClosed("QueryEngine is closed")
         self._check_generation()
-        tenant = kwargs.pop("tenant", "default")
-        deadline_ms = kwargs.pop("deadline_ms", None)
         if self.admission is not None:
             ticket = await self.admission.admit(
-                tenant, deadline_ms=deadline_ms
+                opts.tenant, deadline_ms=opts.deadline_ms
             )
             self._active += 1
             self._peak_active = max(self._peak_active, self._active)
             started = self.kernel.now()
             try:
-                return await self._execute(sql_text, **kwargs)
+                return await self._execute(sql_text, opts)
             finally:
                 self._active -= 1
                 self.admission.release(ticket, self.kernel.now() - started)
@@ -433,29 +476,22 @@ class QueryEngine:
         self._active += 1
         self._peak_active = max(self._peak_active, self._active)
         try:
-            return await self._execute(sql_text, **kwargs)
+            return await self._execute(sql_text, opts)
         finally:
             self._active -= 1
             self._admission.release()
 
     async def _execute(
-        self,
-        sql_text: str,
-        *,
-        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
-        fanouts: list[int] | None = None,
-        adaptation: AdaptationParams | None = None,
-        retries: int = 0,
-        cache: CacheConfig | None = None,
-        process_costs: ProcessCosts | None = None,
-        on_error: str | None = None,
-        faults: FaultInjection | None = None,
-        name: str = "Query",
-        obs: NullRecorder | None = None,
-        optimize: str = "heuristic",
+        self, sql_text: str, opts: QueryOptions
     ) -> QueryResult:
+        fanouts = opts.fanouts
+        adaptation = opts.adaptation
+        name = opts.name
+        cache = opts.cache
+        obs = opts.obs
+        optimize = opts.optimize
         await self.pool_registry.drain()
-        mode = ExecutionMode.of(mode)
+        mode = ExecutionMode.of(opts.mode)
         if self.admission is not None and mode is ExecutionMode.ADAPTIVE:
             # AFF fanout cap from measured broker queue contention: a
             # saturated endpoint only queues deeper under wider fanout,
@@ -474,19 +510,20 @@ class QueryEngine:
             sql_text, mode, fanouts, adaptation, name, obs=recorder,
             optimize=optimize,
         )
-        effective_costs = process_costs or self.wsmed.process_costs
-        if on_error is not None:
-            effective_costs = _replace(effective_costs, on_error=on_error)
-        if faults is not None:
-            effective_costs = _replace(effective_costs, faults=faults)
+        effective_costs = opts.process_costs or self.wsmed.process_costs
+        if opts.on_error is not None:
+            effective_costs = _replace(effective_costs, on_error=opts.on_error)
+        if opts.faults is not None:
+            effective_costs = _replace(effective_costs, faults=opts.faults)
         ctx = ExecutionContext(
             kernel=self.kernel,
             broker=self.broker,
             functions=self.wsmed.functions,
-            retries=retries,
+            retries=opts.retries,
             call_recorder=CallRecorder(),
             _name_counter=self._name_counter,
             shared=self.shared,
+            limit_pushdown=opts.limit_pushdown,
         )
         config = cache if cache is not None else self.wsmed.cache_config
         leased_cache = self._lease_coordinator_cache(ctx, config)

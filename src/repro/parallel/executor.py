@@ -109,10 +109,14 @@ class ParallelExecutor:
         return pool
 
     async def _handle(
-        self, node: PlanNode, source: AsyncIterator[tuple], ctx: ExecutionContext
+        self,
+        node: PlanNode,
+        source: AsyncIterator[tuple],
+        ctx: ExecutionContext,
+        stop_after: int | None = None,
     ) -> AsyncIterator[tuple]:
         pool = await self._acquire_pool(node, ctx)
-        async for row in pool.run(source):
+        async for row in pool.run(source, stop_after=stop_after):
             yield row
 
     async def execute(self, plan: PlanNode) -> list[tuple]:

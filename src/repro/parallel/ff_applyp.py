@@ -487,8 +487,17 @@ class ChildPool:
 
     # -- the operator loop ----------------------------------------------------------
 
-    async def run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
+    async def run(
+        self, source: AsyncIterator[tuple], stop_after: int | None = None
+    ) -> AsyncIterator[tuple]:
         """One invocation of the operator over one parameter stream.
+
+        ``stop_after`` is the LIMIT-pushdown protocol: once that many
+        result rows exist the pool stops dispatching new parameter tuples,
+        drops everything still queued (with in-flight accounting), drains
+        the calls already on the wire, and only then emits the final row —
+        so the invocation ends normally with exactly ``stop_after`` rows
+        and no stray messages for the pool's next use.
 
         When tracing is on, the whole invocation is wrapped in an
         ``invoke`` span whose id is stamped onto every downlink message
@@ -498,7 +507,7 @@ class ChildPool:
         """
         obs = self.ctx.obs
         if not obs.enabled:
-            async for row in self._run(source):
+            async for row in self._run(source, stop_after):
                 yield row
             return
         self._inv_span = obs.start(
@@ -511,7 +520,7 @@ class ChildPool:
             children=len(self.children),
         )
         try:
-            async for row in self._run(source):
+            async for row in self._run(source, stop_after):
                 yield row
         finally:
             obs.finish(
@@ -521,7 +530,27 @@ class ChildPool:
             )
             self._inv_span = -1
 
-    async def _run(self, source: AsyncIterator[tuple]) -> AsyncIterator[tuple]:
+    def _early_stop_cleanup(self) -> int:
+        """Drop every parameter row not yet on the wire (LIMIT pushdown).
+
+        Returns how many ``in_flight``-counted rows were dropped: the
+        pending queue plus the per-child batch buffers (a buffered row was
+        counted in ``in_flight`` and in its child's ``outstanding`` at
+        dispatch time, but no message ever carried it).
+        """
+        dropped = len(self._pending)
+        self._pending.clear()
+        for child in list(self.children) + list(self._detached.values()):
+            buffered = self.batcher.take_buffer(child.endpoints.name)
+            if buffered:
+                dropped += len(buffered)
+                child.outstanding = max(0, child.outstanding - len(buffered))
+        self.batcher.discard()
+        return dropped
+
+    async def _run(
+        self, source: AsyncIterator[tuple], stop_after: int | None = None
+    ) -> AsyncIterator[tuple]:
         if self._closed:
             raise PlanError("operator pool used after shutdown")
         if not self.children:
@@ -546,6 +575,33 @@ class ChildPool:
         # WSQ/DSQ-style ablation: materialize the parameter stream before
         # dispatching instead of streaming (costs.barrier).
         barrier_buffer: list[tuple] | None = [] if self.costs.barrier else None
+        # LIMIT pushdown: rows released so far, the held-back final row,
+        # and whether the early stop (stop dispatching, drain in-flight)
+        # has begun.  The final row is only emitted after the drain, so
+        # the invocation always ends with a quiet pool.
+        emitted = 0
+        final_row: tuple | None = None
+        stopping = False
+
+        def begin_stop() -> int:
+            """Enter drain mode; returns dropped ``in_flight`` rows."""
+            nonlocal stopping, input_done, barrier_buffer
+            stopping = True
+            input_done = True
+            dropped = self._early_stop_cleanup()
+            if barrier_buffer is not None:
+                dropped += len(barrier_buffer)
+                barrier_buffer = None
+            self.ctx.trace.record(
+                kernel.now(),
+                "limit_stop",
+                process=self.ctx.process_name,
+                plan_function=self.plan_function.name,
+                emitted=stop_after,
+                dropped=dropped,
+            )
+            return dropped
+
         try:
             while True:
                 if input_done and not self._pending:
@@ -556,15 +612,15 @@ class ChildPool:
                     break
                 message = await self.inbox.recv()
                 if isinstance(message, InputAvailable):
-                    if message.epoch != epoch:
-                        continue  # stale input of a failed previous run
+                    if message.epoch != epoch or stopping:
+                        continue  # stale input, or the limit is satisfied
                     in_flight += 1
                     if barrier_buffer is not None:
                         barrier_buffer.append(message.row)
                     else:
                         await self._dispatch(message.row)
                 elif isinstance(message, InputExhausted):
-                    if message.epoch != epoch:
+                    if message.epoch != epoch or stopping:
                         continue
                     input_done = True
                     if barrier_buffer is not None:
@@ -575,8 +631,8 @@ class ChildPool:
                         first_round_announced = True
                         self._broadcast_ready()
                 elif isinstance(message, InputFailed):
-                    if message.epoch != epoch:
-                        continue
+                    if message.epoch != epoch or stopping:
+                        continue  # an input error after the limit is moot
                     raise ReproError(message.message)
                 elif isinstance(message, ResultTuple):
                     if message.seq >= 0:
@@ -585,7 +641,14 @@ class ChildPool:
                             continue  # row of a call already written off
                     self.batcher.counters.result_tuples += 1
                     self.on_result(message)
-                    yield message.row
+                    if stopping:
+                        continue  # drained row beyond the limit
+                    emitted += 1
+                    if stop_after is not None and emitted >= stop_after:
+                        final_row = message.row
+                        in_flight -= begin_stop()
+                    else:
+                        yield message.row
                 elif isinstance(message, ResultBatch):
                     owner = self._find_child(message.child)
                     if owner is None:
@@ -607,18 +670,33 @@ class ChildPool:
                             self.on_result(
                                 ResultTuple(message.child, row, end_of_call.seq)
                             )
-                            yield row
+                            if stopping:
+                                continue
+                            emitted += 1
+                            if stop_after is not None and emitted >= stop_after:
+                                final_row = row
+                                in_flight -= begin_stop()
+                            else:
+                                yield row
                         in_flight -= 1
                         self.batcher.observe(end_of_call)
                         if owner in self.children:
                             self._make_idle(owner)
-                        await self.on_end_of_call(end_of_call)
+                        if not stopping:
+                            await self.on_end_of_call(end_of_call)
                     self._retire_detached(message.child)
                     for row in message.rows[cursor:]:
                         # Rows of a call that errored mid-way (no end-of-call;
                         # a ChildError follows in FIFO order behind this batch).
                         self.on_result(ResultTuple(message.child, row))
-                        yield row
+                        if stopping:
+                            continue
+                        emitted += 1
+                        if stop_after is not None and emitted >= stop_after:
+                            final_row = row
+                            in_flight -= begin_stop()
+                        else:
+                            yield row
                 elif isinstance(message, EndOfCall):
                     owner = self._find_child(message.child)
                     if owner is None or message.seq not in owner.inflight:
@@ -631,13 +709,21 @@ class ChildPool:
                     self.batcher.observe(message)
                     if owner in self.children:
                         self._make_idle(owner)
-                    await self.on_end_of_call(message)
+                    if not stopping:
+                        await self.on_end_of_call(message)
                 elif isinstance(message, CallFailed):
                     owner = self._find_child(message.child)
                     if owner is None or message.seq not in owner.inflight:
                         continue  # failure of a call already written off
                     row = owner.inflight.pop(message.seq)
                     self._retire_detached(message.child)
+                    if stopping:
+                        # The limit is satisfied: write the call off with
+                        # no retry and no abort — its rows are not needed.
+                        in_flight -= 1
+                        if owner in self.children:
+                            self._make_idle(owner)
+                        continue
                     action = self._register_failure(
                         row, child=message.child, seq=message.seq,
                         error=message.message,
@@ -656,6 +742,11 @@ class ChildPool:
                         continue  # orderly exit (drop/close) or already evicted
                     detached = message.child in self._detached
                     lost = self._evict(message.child)
+                    if stopping:
+                        # Draining: the dead child's in-flight calls are
+                        # simply written off; no respawn, no abort.
+                        in_flight -= len(lost)
+                        continue
                     if self.costs.on_error == "fail":
                         raise ReproError(
                             f"query process {message.child} died"
@@ -681,13 +772,18 @@ class ChildPool:
                     # Even under on_error="fail" the dead child must leave
                     # the pool structures, or reusing the (persistent)
                     # pool would dispatch to a process nobody runs.
-                    self._evict(message.child)
+                    lost = self._evict(message.child)
+                    if stopping:
+                        in_flight -= len(lost)
+                        continue
                     raise ReproError(
                         f"query process {message.child} failed: {message.message}"
                     )
                 if not first_round_announced and in_flight >= len(self.children):
                     first_round_announced = True
                     self._broadcast_ready()
+            if final_row is not None:
+                yield final_row
         except BaseException:
             # Includes GeneratorExit of an abandoned invocation: leave the
             # persistent pool ready for its next parameter stream.

@@ -35,6 +35,7 @@ from repro.algebra.expressions import columns_of
 from repro.algebra.plan import (
     AdaptationParams,
     AFFApplyNode,
+    AggregateNode,
     ApplyNode,
     DistinctNode,
     FFApplyNode,
@@ -48,12 +49,13 @@ from repro.algebra.plan import (
     ProjectNode,
     SingletonNode,
     SortNode,
+    UnionNode,
 )
 from repro.fdb.functions import FunctionKind, FunctionRegistry
 from repro.util.errors import PlanError
 
 # Blocking / global operators: always execute in the coordinator.
-_GLOBAL_NODES = (SortNode, LimitNode, DistinctNode)
+_GLOBAL_NODES = (SortNode, LimitNode, DistinctNode, AggregateNode)
 
 
 @dataclass
@@ -107,6 +109,8 @@ def _rebase(node: PlanNode, new_child: PlanNode) -> PlanNode:
         return SortNode(new_child, node.keys)
     if isinstance(node, LimitNode):
         return LimitNode(new_child, node.count)
+    if isinstance(node, AggregateNode):
+        return AggregateNode(new_child, node.items)
     raise PlanError(f"cannot rebase plan node {node.label()!r}")
 
 
@@ -162,10 +166,12 @@ def count_sections(plan: PlanNode, registry: FunctionRegistry) -> int:
         return count_sections(plan.left, registry) + count_sections(
             plan.right, registry
         )
+    if isinstance(plan, UnionNode):
+        return sum(count_sections(branch, registry) for branch in plan.inputs)
     total = 0
     node = plan
     while True:
-        if isinstance(node, JoinNode):
+        if isinstance(node, (JoinNode, UnionNode)):
             return total + count_sections(node, registry)
         if _is_parallelizable(node, registry):
             total += 1
@@ -254,18 +260,24 @@ class _Rewriter:
                 break
             spine.append(current)
             current = children[0]
-        if isinstance(current, JoinNode):
+        if isinstance(current, (JoinNode, UnionNode)):
             for node in spine:
                 if _is_parallelizable(node, self.registry):
                     raise PlanError(
-                        "parallelizable call above a join is not supported"
+                        "parallelizable call above a join or union "
+                        "is not supported"
                     )
-            new_join = JoinNode(
-                left=self.rewrite(current.left),
-                right=self.rewrite(current.right),
-                conditions=current.conditions,
-            )
-            return _rebuild(list(reversed(spine)), new_join)
+            if isinstance(current, JoinNode):
+                new_node: PlanNode = JoinNode(
+                    left=self.rewrite(current.left),
+                    right=self.rewrite(current.right),
+                    conditions=current.conditions,
+                )
+            else:
+                new_node = UnionNode(
+                    tuple(self.rewrite(branch) for branch in current.inputs)
+                )
+            return _rebuild(list(reversed(spine)), new_node)
         # A pure chain rooted in the singleton.
         return self._rewrite_chain(plan)
 

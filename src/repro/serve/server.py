@@ -55,10 +55,12 @@ import os
 import re
 from typing import Any, Optional
 
+from repro.algebra.plan import AdaptationParams
 from repro.cache import CacheConfig
 from repro.engine import AdmissionRejected, EngineClosed
 from repro.obs import TraceRecorder, write_chrome_trace
 from repro.util.errors import ReproError
+from repro.wsmed.options import QueryOptions
 
 _MAX_BODY = 4 * 1024 * 1024
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
@@ -278,20 +280,22 @@ class QueryServer:
     async def _serve_sql(self, writer: asyncio.StreamWriter, body: bytes) -> None:
         if not body:
             raise _HttpError(400, "POST /sql requires a JSON request body")
-        request = self._parse_sql_request(body)
-        sql_text = request.pop("sql")
-        trace = request.pop("trace", False)
+        sql_text, trace, option_kwargs = self._parse_sql_request(body)
         recorder = TraceRecorder() if trace else None
         if recorder is not None:
-            request["obs"] = recorder
+            option_kwargs["obs"] = recorder
         if getattr(self.engine, "_closed", False):
             raise _HttpError(503, "engine is shut down")
-        result = await self.engine.sql_async(sql_text, **request)
+        try:
+            options = QueryOptions(**option_kwargs)
+        except TypeError as error:
+            raise _HttpError(400, f"bad query options: {error}")
+        result = await self.engine.sql_async(sql_text, options=options)
 
         trace_file = None
         if recorder is not None and result.spans is not None:
             os.makedirs(self.trace_dir, exist_ok=True)
-            stem = _SAFE_NAME.sub("-", request.get("name", "query")) or "query"
+            stem = _SAFE_NAME.sub("-", option_kwargs.get("name", "query")) or "query"
             trace_file = os.path.join(
                 self.trace_dir, f"{stem}-{next(self._trace_ids)}.trace.json"
             )
@@ -354,7 +358,33 @@ class QueryServer:
     def _line(payload: Any) -> bytes:
         return (json.dumps(payload, default=str) + "\n").encode("utf-8")
 
-    def _parse_sql_request(self, body: bytes) -> dict[str, Any]:
+    #: QueryOptions fields expressible in the POST /sql JSON schema, both
+    #: inside the nested ``"options"`` object (the versioned schema) and at
+    #: the top level (legacy aliases kept for old clients).
+    _OPTION_FIELDS = frozenset(
+        {
+            "mode",
+            "fanouts",
+            "adaptation",
+            "retries",
+            "cache",
+            "on_error",
+            "name",
+            "optimize",
+            "limit_pushdown",
+            "tenant",
+            "deadline_ms",
+        }
+    )
+
+    def _parse_sql_request(self, body: bytes) -> tuple[str, bool, dict]:
+        """Returns ``(sql, trace, option_kwargs)`` for :class:`QueryOptions`.
+
+        Per-query knobs live in the nested ``"options"`` object; the same
+        names are also accepted at the top level as legacy aliases.  A
+        field set in both places with different values is a 400 — silently
+        preferring either would mask a confused client.
+        """
         try:
             request = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -363,28 +393,30 @@ class QueryServer:
             request.get("sql"), str
         ):
             raise _HttpError(400, 'request must be a JSON object with a "sql" string')
-        allowed = {
-            "sql",
-            "mode",
-            "fanouts",
-            "retries",
-            "cache",
-            "on_error",
-            "name",
-            "trace",
-            "tenant",
-            "deadline_ms",
-            "optimize",
-        }
-        unknown = set(request) - allowed
+        unknown = set(request) - self._OPTION_FIELDS - {"sql", "trace", "options"}
         if unknown:
             raise _HttpError(400, f"unknown request fields: {sorted(unknown)}")
-        tenant = request.get("tenant")
+        options = request.get("options", {})
+        if not isinstance(options, dict):
+            raise _HttpError(400, '"options" must be a JSON object')
+        unknown = set(options) - self._OPTION_FIELDS
+        if unknown:
+            raise _HttpError(400, f"unknown options fields: {sorted(unknown)}")
+        merged = dict(options)
+        for name in self._OPTION_FIELDS & set(request):
+            if name in merged and merged[name] != request[name]:
+                raise _HttpError(
+                    400,
+                    f"field {name!r} conflicts between the top level "
+                    'and "options"',
+                )
+            merged[name] = request[name]
+        tenant = merged.get("tenant")
         if tenant is not None and (
             not isinstance(tenant, str) or not tenant.strip()
         ):
             raise _HttpError(400, f"bad tenant field: {tenant!r}")
-        deadline = request.get("deadline_ms")
+        deadline = merged.get("deadline_ms")
         if deadline is not None:
             if isinstance(deadline, bool) or not isinstance(
                 deadline, (int, float)
@@ -392,25 +424,41 @@ class QueryServer:
                 raise _HttpError(
                     400, f"deadline_ms must be a positive number: {deadline!r}"
                 )
-        optimize = request.setdefault("optimize", self.default_optimize)
+        optimize = merged.setdefault("optimize", self.default_optimize)
         if optimize not in ("heuristic", "cost"):
             raise _HttpError(
                 400,
                 f'optimize must be "heuristic" or "cost": {optimize!r}',
             )
-        cache = request.get("cache")
+        limit_pushdown = merged.get("limit_pushdown")
+        if limit_pushdown is not None and not isinstance(limit_pushdown, bool):
+            raise _HttpError(
+                400, f"limit_pushdown must be a boolean: {limit_pushdown!r}"
+            )
+        adaptation = merged.get("adaptation")
+        if isinstance(adaptation, dict):
+            try:
+                merged["adaptation"] = AdaptationParams(**adaptation)
+            except TypeError as error:
+                raise _HttpError(400, f"bad adaptation config: {error}")
+        elif adaptation is not None:
+            raise _HttpError(400, f"bad adaptation field: {adaptation!r}")
+        cache = merged.get("cache")
         if cache is True:
-            request["cache"] = CacheConfig(enabled=True)
+            merged["cache"] = CacheConfig(enabled=True)
         elif isinstance(cache, dict):
             try:
-                request["cache"] = CacheConfig(enabled=True, **cache)
+                merged["cache"] = CacheConfig(enabled=True, **cache)
             except (TypeError, ReproError) as error:
                 raise _HttpError(400, f"bad cache config: {error}")
         elif cache in (False, None):
-            request.pop("cache", None)
+            merged.pop("cache", None)
         else:
             raise _HttpError(400, f"bad cache field: {cache!r}")
-        return request
+        for name in ("tenant", "deadline_ms"):
+            if merged.get(name) is None:
+                merged.pop(name, None)
+        return request["sql"], bool(request.get("trace", False)), merged
 
     async def _send_json(
         self,

@@ -50,6 +50,25 @@ class BinaryOp:
 
 Expression = Union[Literal, ColumnRef, BinaryOp]
 
+#: Aggregate function names the dialect understands (case-insensitive in
+#: the source text, canonicalized to lower case here).
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "min", "max", "avg"})
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """An aggregate call in the select list: ``COUNT(*)``, ``SUM(x)`` ...
+
+    ``argument`` is :class:`Star` only for ``COUNT(*)``; every other
+    aggregate takes a scalar expression.
+    """
+
+    function: str  # lower-case: count | sum | min | max | avg
+    argument: Union[Expression, Star]
+
+    def to_sql(self) -> str:
+        return f"{self.function.upper()}({self.argument.to_sql()})"
+
 
 @dataclass(frozen=True)
 class Comparison:
@@ -75,7 +94,7 @@ class Star:
 class SelectItem:
     """One item of the select list, optionally aliased."""
 
-    expression: Expression
+    expression: Union[Expression, "FuncCall"]
     alias: str | None = None
 
     def to_sql(self) -> str:
@@ -107,7 +126,15 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class Query:
-    """A single-block conjunctive query."""
+    """A single-block query.
+
+    ``predicates`` holds the WHERE conjunction when the query has exactly
+    one conjunctive branch (the pre-disjunction shape every consumer
+    understands).  A WHERE with ``OR`` is normalized to disjunctive
+    normal form in ``disjuncts`` — one tuple of comparisons per branch —
+    and ``predicates`` is then empty.  ``disjuncts`` is always populated:
+    a conjunctive query has exactly one branch, equal to ``predicates``.
+    """
 
     select: tuple[SelectItem, ...] | Star
     tables: tuple[TableRef, ...]
@@ -115,6 +142,16 @@ class Query:
     distinct: bool = False
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    disjuncts: tuple[tuple[Comparison, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            object.__setattr__(self, "disjuncts", (self.predicates,))
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.disjuncts) > 1
 
     def to_sql(self) -> str:
         if isinstance(self.select, Star):
@@ -127,8 +164,16 @@ class Query:
             f"SELECT {select_sql} FROM "
             + ", ".join(table.to_sql() for table in self.tables)
         )
-        if self.predicates:
+        if self.is_disjunctive:
+            branches = [
+                "(" + " AND ".join(p.to_sql() for p in branch) + ")"
+                for branch in self.disjuncts
+            ]
+            sql += " WHERE " + " OR ".join(branches)
+        elif self.predicates:
             sql += " WHERE " + " AND ".join(p.to_sql() for p in self.predicates)
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(c.to_sql() for c in self.group_by)
         if self.order_by:
             sql += " ORDER BY " + ", ".join(item.to_sql() for item in self.order_by)
         if self.limit is not None:

@@ -9,8 +9,9 @@ from repro.util.errors import ParseError
 
 KEYWORDS = frozenset(
     {
-        "SELECT", "FROM", "WHERE", "AND", "AS", "TRUE", "FALSE", "NOT",
-        "DISTINCT", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+        "SELECT", "FROM", "WHERE", "AND", "OR", "AS", "TRUE", "FALSE", "NOT",
+        "DISTINCT", "GROUP", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+        "JOIN", "ON",
     }
 )
 

@@ -1,28 +1,42 @@
 """Recursive-descent parser for the WSMED SQL dialect.
 
-Grammar (conjunctive single-block queries, as in the paper's Figs 1/3)::
+Grammar (single-block queries; Figs 1/3 plus joins, aggregates,
+disjunction and GROUP BY)::
 
     query       := SELECT [DISTINCT] select_list FROM table_list
-                   [WHERE conjunction] [ORDER BY order_list] [LIMIT number]
+                   [WHERE disjunction] [GROUP BY column_list]
+                   [ORDER BY order_list] [LIMIT number]
     select_list := '*' | select_item (',' select_item)*
+    select_item := (expression | aggregate) [AS identifier | identifier]
+    aggregate   := (COUNT|SUM|MIN|MAX|AVG) '(' ('*' | expression) ')'
     order_list  := column_ref [ASC|DESC] (',' column_ref [ASC|DESC])*
-    select_item := expression [AS identifier | identifier]
-    table_list  := table_ref (',' table_ref)*
+    column_list := column_ref (',' column_ref)*
+    table_list  := table_ref ((',' table_ref) | join)*
     table_ref   := identifier [identifier]          -- name plus alias
-    conjunction := comparison (AND comparison)*
+    join        := JOIN table_ref ON comparison (AND comparison)*
+    disjunction := conjunction (OR conjunction)*
+    conjunction := bool_primary (AND bool_primary)*
+    bool_primary:= '(' disjunction ')' | comparison
     comparison  := expression op expression         -- op in = < > <= >= <>
     expression  := term ('+' term)*
     term        := literal | column_ref | '(' expression ')'
     column_ref  := identifier ['.' identifier]
+
+A WHERE with ``OR`` is normalized to disjunctive normal form at parse
+time; the branches land in :attr:`Query.disjuncts`.  ``JOIN ... ON`` is
+pure sugar: the ON comparisons are conjoined into every branch, exactly
+as if they had been written in the WHERE clause.
 """
 
 from __future__ import annotations
 
 from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
     BinaryOp,
     ColumnRef,
     Comparison,
     Expression,
+    FuncCall,
     Literal,
     OrderItem,
     Query,
@@ -34,6 +48,11 @@ from repro.sql.lexer import Token, TokenKind, tokenize
 from repro.util.errors import ParseError
 
 _COMPARISON_OPS = ("=", "<=", ">=", "<>", "<", ">")
+
+#: Upper bound on WHERE branches after DNF normalization; a query over
+#: web services with more disjunctive branches than this is almost
+#: certainly a mistake, and the plan would be a union that large.
+_MAX_DISJUNCTS = 64
 
 
 class _Parser:
@@ -53,8 +72,14 @@ class _Parser:
             self._index += 1
         return token
 
-    def _error(self, message: str) -> ParseError:
-        token = self._current
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        """A positioned error at ``token`` (default: the current token).
+
+        Callers that have already consumed the offending token pass it
+        explicitly so the reported line/column point at the construct
+        itself, not at whatever happens to follow it.
+        """
+        token = token if token is not None else self._current
         found = token.text or "end of query"
         return ParseError(f"{message}, found {found!r}", token.line, token.column)
 
@@ -83,23 +108,54 @@ class _Parser:
             distinct = True
         select = self._select_list()
         self._expect_keyword("FROM")
-        tables = self._table_list()
-        predicates: tuple[Comparison, ...] = ()
+        tables, join_conditions = self._table_list()
+        branches: list[list[Comparison]] = [[]]
         if self._current.is_keyword("WHERE"):
+            where_token = self._current
             self._advance()
-            predicates = self._conjunction()
+            branches = self._disjunction()
+            if len(branches) > _MAX_DISJUNCTS:
+                raise self._error(
+                    f"WHERE normalizes to {len(branches)} disjunctive "
+                    f"branches (limit {_MAX_DISJUNCTS})",
+                    where_token,
+                )
+        if join_conditions:
+            branches = [list(join_conditions) + branch for branch in branches]
+        group_by = self._group_by()
         order_by = self._order_by()
         limit = self._limit()
         if self._current.kind is not TokenKind.END:
             raise self._error("unexpected trailing input")
+        disjuncts = tuple(tuple(branch) for branch in branches)
         return Query(
             select=select,
             tables=tables,
-            predicates=predicates,
+            predicates=disjuncts[0] if len(disjuncts) == 1 else (),
             distinct=distinct,
             order_by=order_by,
             limit=limit,
+            group_by=group_by,
+            disjuncts=disjuncts,
         )
+
+    def _group_by(self) -> tuple[ColumnRef, ...]:
+        if not self._current.is_keyword("GROUP"):
+            return ()
+        self._advance()
+        self._expect_keyword("BY")
+        columns = [self._group_column()]
+        while self._current.is_symbol(","):
+            self._advance()
+            columns.append(self._group_column())
+        return tuple(columns)
+
+    def _group_column(self) -> ColumnRef:
+        token = self._current
+        expression = self._term()
+        if not isinstance(expression, ColumnRef):
+            raise self._error("GROUP BY expects a column reference", token)
+        return expression
 
     def _order_by(self) -> tuple[OrderItem, ...]:
         if not self._current.is_keyword("ORDER"):
@@ -113,9 +169,10 @@ class _Parser:
         return tuple(items)
 
     def _order_item(self) -> OrderItem:
+        token = self._current
         expression = self._term()
         if not isinstance(expression, ColumnRef):
-            raise self._error("ORDER BY expects a column reference")
+            raise self._error("ORDER BY expects a column reference", token)
         ascending = True
         if self._current.is_keyword("ASC"):
             self._advance()
@@ -131,10 +188,10 @@ class _Parser:
         token = self._current
         if token.kind is not TokenKind.NUMBER or "." in token.text:
             raise self._error("LIMIT expects an integer")
-        self._advance()
         value = int(token.text)
         if value < 0:
-            raise self._error("LIMIT must be non-negative")
+            raise self._error("LIMIT must be non-negative", token)
+        self._advance()
         return value
 
     def _select_list(self):
@@ -148,7 +205,15 @@ class _Parser:
         return tuple(items)
 
     def _select_item(self) -> SelectItem:
-        expression = self._expression()
+        expression: Expression | FuncCall
+        if (
+            self._current.kind is TokenKind.IDENTIFIER
+            and self._current.text.lower() in AGGREGATE_FUNCTIONS
+            and self._tokens[self._index + 1].is_symbol("(")
+        ):
+            expression = self._aggregate()
+        else:
+            expression = self._expression()
         alias = None
         if self._current.is_keyword("AS"):
             self._advance()
@@ -157,12 +222,48 @@ class _Parser:
             alias = self._advance().text
         return SelectItem(expression, alias)
 
-    def _table_list(self) -> tuple[TableRef, ...]:
-        tables = [self._table_ref()]
-        while self._current.is_symbol(","):
+    def _aggregate(self) -> FuncCall:
+        name_token = self._advance()
+        function = name_token.text.lower()
+        self._expect_symbol("(")
+        if self._current.is_symbol("*"):
+            star_token = self._current
+            if function != "count":
+                raise self._error(
+                    f"{function.upper()}(*) is not supported; "
+                    f"only COUNT takes '*'",
+                    star_token,
+                )
             self._advance()
-            tables.append(self._table_ref())
-        return tuple(tables)
+            argument: Expression | Star = Star()
+        else:
+            argument = self._expression()
+        self._expect_symbol(")")
+        return FuncCall(function, argument)
+
+    def _table_list(self) -> tuple[tuple[TableRef, ...], tuple[Comparison, ...]]:
+        """The FROM clause: comma-separated refs plus JOIN ... ON sugar.
+
+        Returns the table tuple and the ON comparisons (conjoined into
+        every WHERE branch by :meth:`parse`).
+        """
+        tables = [self._table_ref()]
+        join_conditions: list[Comparison] = []
+        while True:
+            if self._current.is_symbol(","):
+                self._advance()
+                tables.append(self._table_ref())
+            elif self._current.is_keyword("JOIN"):
+                self._advance()
+                tables.append(self._table_ref())
+                self._expect_keyword("ON")
+                join_conditions.append(self._comparison())
+                while self._current.is_keyword("AND"):
+                    self._advance()
+                    join_conditions.append(self._comparison())
+            else:
+                break
+        return tuple(tables), tuple(join_conditions)
 
     def _table_ref(self) -> TableRef:
         name = self._expect_identifier("view name")
@@ -171,12 +272,42 @@ class _Parser:
             alias = self._advance().text
         return TableRef(name, alias)
 
-    def _conjunction(self) -> tuple[Comparison, ...]:
-        comparisons = [self._comparison()]
+    def _disjunction(self) -> list[list[Comparison]]:
+        """``conjunction (OR conjunction)*`` in disjunctive normal form.
+
+        Each returned branch is one conjunction of comparisons; a WHERE
+        without ``OR`` yields exactly one branch.
+        """
+        branches = self._and_expr()
+        while self._current.is_keyword("OR"):
+            self._advance()
+            branches = branches + self._and_expr()
+        return branches
+
+    def _and_expr(self) -> list[list[Comparison]]:
+        result = self._bool_primary()
         while self._current.is_keyword("AND"):
             self._advance()
-            comparisons.append(self._comparison())
-        return tuple(comparisons)
+            right = self._bool_primary()
+            # Distribute AND over the branches of both sides (DNF).
+            result = [a + b for a in result for b in right]
+        return result
+
+    def _bool_primary(self) -> list[list[Comparison]]:
+        if self._current.is_symbol("("):
+            # '(' is ambiguous: a boolean group or a parenthesized
+            # arithmetic expression like (a + b) = c.  Try the boolean
+            # reading first and backtrack to a comparison on failure.
+            saved = self._index
+            self._advance()
+            try:
+                inner = self._disjunction()
+                self._expect_symbol(")")
+            except ParseError:
+                self._index = saved
+            else:
+                return inner
+        return [[self._comparison()]]
 
     def _comparison(self) -> Comparison:
         left = self._expression()

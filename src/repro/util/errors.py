@@ -26,6 +26,12 @@ class ParseError(ReproError):
         super().__init__(message)
 
 
+#: Public alias: the SQL front end's error type.  Both names raise/catch
+#: the same class, so ``except ParseError`` and ``except SqlError`` are
+#: interchangeable.
+SqlError = ParseError
+
+
 class CalculusError(ReproError):
     """Raised when a SQL AST cannot be translated to conjunctive calculus."""
 

@@ -1,0 +1,139 @@
+"""The unified per-query options object.
+
+Every per-query planning and execution knob lives in one frozen
+dataclass, :class:`QueryOptions`, accepted by :meth:`WSMED.sql` /
+:meth:`WSMED.plan` / :meth:`WSMED.explain`, by
+:meth:`~repro.engine.QueryEngine.sql` / ``sql_async`` / ``sql_many``,
+by the CLI, and (as a nested JSON object) by the HTTP front end's
+``POST /sql``.
+
+The old keyword arguments keep working on every surface — they are
+merged over ``options`` and emit a :class:`DeprecationWarning`::
+
+    wsmed.sql(q, mode="adaptive", retries=2)              # deprecated
+    wsmed.sql(q, options=QueryOptions(mode="adaptive", retries=2))
+
+Some fields only make sense on one surface: ``kernel`` / ``fault_rate``
+are rejected by the resident engine (which owns its kernel), and
+``tenant`` / ``deadline_ms`` / ``observed`` are engine-level admission /
+statistics knobs rejected by the one-shot :meth:`WSMED.sql` path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.algebra.plan import AdaptationParams
+from repro.cache import CacheConfig
+from repro.parallel.costs import ProcessCosts
+from repro.parallel.faults import FaultInjection
+from repro.util.errors import PlanError
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """All per-query knobs; every field has the surface's old default.
+
+    Planning:
+      ``mode``           execution mode (``central``/``parallel``/``adaptive``).
+      ``fanouts``        manual FF_APPLYP fanout vector (parallel mode).
+      ``adaptation``     AFF_APPLYP parameters (adaptive mode).
+      ``name``           query name for traces and reports.
+      ``optimize``       ``"heuristic"`` (seed default) or ``"cost"``.
+      ``observed``       measured (call cost, fanout) overlay for the
+                         cost model (one-shot :meth:`WSMED.sql` only; the
+                         resident engine feeds its own statistics).
+
+    Execution:
+      ``retries``        per-call retries of retriable service faults.
+      ``cache``          per-query web-service call cache configuration.
+      ``process_costs``  process cost model override (batching etc.).
+      ``on_error``       pool failure policy shortcut (fail/retry/skip).
+      ``faults``         fault-injection knobs.
+      ``obs``            a TraceRecorder for span tracing.
+      ``limit_pushdown`` let a LIMIT above FF/AFF stop dispatching calls
+                         early (same rows, fewer calls; default on).
+
+    One-shot only (:meth:`WSMED.sql`):
+      ``kernel``         execution kernel (defaults to a fresh SimKernel).
+      ``fault_rate``     broker-level random fault rate.
+
+    Engine only (:class:`~repro.engine.QueryEngine`):
+      ``tenant``         fair-queue admission identity.
+      ``deadline_ms``    admission deadline in model milliseconds.
+    """
+
+    mode: object = "central"  # ExecutionMode | str (typed loosely: the
+    # enum lives in repro.wsmed.system, which imports this module)
+    fanouts: Optional[list] = None
+    adaptation: Optional[AdaptationParams] = None
+    retries: int = 0
+    cache: Optional[CacheConfig] = None
+    process_costs: Optional[ProcessCosts] = None
+    on_error: Optional[str] = None
+    faults: Optional[FaultInjection] = None
+    name: str = "Query"
+    obs: Optional[object] = None
+    optimize: str = "heuristic"
+    observed: Optional[dict] = None
+    limit_pushdown: bool = True
+    kernel: Optional[object] = None
+    fault_rate: float = 0.0
+    tenant: str = "default"
+    deadline_ms: Optional[float] = None
+
+    def replace(self, **overrides) -> "QueryOptions":
+        """A copy with the given fields changed (field names validated)."""
+        return replace(self, **overrides)
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(QueryOptions))
+
+#: Fields only the one-shot WSMED.sql surface honors.
+ONE_SHOT_ONLY = frozenset({"kernel", "fault_rate"})
+#: Fields only the resident engine honors.
+ENGINE_ONLY = frozenset({"tenant", "deadline_ms"})
+
+
+def resolve_options(
+    options: QueryOptions | None,
+    legacy: dict,
+    *,
+    where: str,
+    rejected: frozenset = frozenset(),
+) -> QueryOptions:
+    """Merge deprecated keyword arguments over ``options``.
+
+    ``legacy`` keys must be :class:`QueryOptions` field names; unknown
+    names raise :class:`TypeError` exactly like a bad keyword argument
+    would have.  Passing any legacy keyword emits a single
+    :class:`DeprecationWarning` naming the call site.  ``rejected`` lists
+    fields this surface does not support: setting one (to a non-default
+    value) raises :class:`~repro.util.errors.PlanError`.
+    """
+    if options is not None and not isinstance(options, QueryOptions):
+        raise PlanError(
+            f"{where} options must be a QueryOptions, got {type(options).__name__}"
+        )
+    resolved = options if options is not None else QueryOptions()
+    if legacy:
+        unknown = set(legacy) - _FIELD_NAMES
+        if unknown:
+            raise TypeError(
+                f"{where}() got unexpected keyword arguments: "
+                + ", ".join(sorted(unknown))
+            )
+        warnings.warn(
+            f"passing {', '.join(sorted(legacy))} as keyword arguments to "
+            f"{where} is deprecated; pass options=QueryOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        resolved = replace(resolved, **legacy)
+    defaults = QueryOptions()
+    for name in rejected:
+        if getattr(resolved, name) != getattr(defaults, name):
+            raise PlanError(f"{where} does not support the {name!r} option")
+    return resolved

@@ -39,25 +39,34 @@ from dataclasses import replace as _replace
 
 from repro.algebra.interpreter import ExecutionContext
 from repro.algebra.optimizer import OptimizerConfig, create_cost_based_plan
-from repro.algebra.plan import AdaptationParams, PlanNode
+from repro.algebra.plan import (
+    AdaptationParams,
+    DistinctNode,
+    LimitNode,
+    PlanNode,
+    SortNode,
+    UnionNode,
+)
 from repro.cache import CacheConfig, aggregate_stats
+from repro.calculus.expressions import CalculusQuery
 from repro.calculus.generator import generate_calculus
 from repro.calculus.rewrite import rewrite_unfittable
 from repro.fdb.catalog import Catalog
 from repro.parallel.batching import message_stats_from_trace
 from repro.fdb.functions import FunctionDef, FunctionRegistry, helping_function
 from repro.fdb.types import CHARSTRING, TupleType
-from repro.obs.spans import NULL_RECORDER, NullRecorder
+from repro.obs.spans import NULL_RECORDER
 from repro.parallel.costs import ProcessCosts
 from repro.parallel.executor import ParallelExecutor
-from repro.parallel.faults import FaultInjection, fault_stats_from_trace
+from repro.parallel.faults import fault_stats_from_trace
 from repro.parallel.parallelizer import parallelize
 from repro.parallel.tree import tree_stats_from_trace
-from repro.runtime.base import Kernel
 from repro.runtime.simulated import SimKernel
 from repro.services.registry import ServiceRegistry, build_registry
+from repro.sql.ast import FuncCall, Star
 from repro.sql.parser import parse_query
-from repro.util.errors import PlanError
+from repro.util.errors import CalculusError, PlanError
+from repro.wsmed.options import ENGINE_ONLY, QueryOptions, resolve_options
 from repro.wsmed.owf import generate_owf
 from repro.wsmed.results import QueryResult
 from repro.wsmed.views import render_view
@@ -93,6 +102,20 @@ def _getzipcode(zipstr: str) -> list[tuple[str]]:
     worker processes by the multi-process kernel's code shipping.
     """
     return [(code,) for code in zipstr.split(",") if code]
+
+
+class DisjunctiveCalculus:
+    """The calculus of an ``OR`` query: one conjunctive branch per disjunct.
+
+    The execution plan unions the branch plans and eliminates duplicates,
+    so a disjunctive query returns the DISTINCT of the true SQL result.
+    """
+
+    def __init__(self, branches: tuple[CalculusQuery, ...]) -> None:
+        self.branches = branches
+
+    def to_text(self) -> str:
+        return "\nOR\n".join(branch.to_text() for branch in self.branches)
 
 
 class WSMED:
@@ -330,7 +353,12 @@ class WSMED:
             query = parse_query(sql_text)
             obs.finish(current)
             phase("calculus")
-            if optimize == "cost":
+            if query.is_disjunctive:
+                branches = self._disjunct_calculi(query, name, optimize)
+                calculus = DisjunctiveCalculus(
+                    tuple(branch for branch, _ in branches)
+                )
+            elif optimize == "cost":
                 calculus = generate_calculus(
                     query, self.functions, name, allow_unbound=True
                 )
@@ -340,7 +368,15 @@ class WSMED:
                 rewrites = []
             obs.finish(current)
             phase("algebra")
-            if optimize == "cost":
+            if query.is_disjunctive:
+                central = self._union_plan(
+                    branches,
+                    optimize=optimize,
+                    observed=observed,
+                    optimizer_config=optimizer_config,
+                )
+                report = None
+            elif optimize == "cost":
                 central, report = create_cost_based_plan(
                     calculus,
                     self.functions,
@@ -380,28 +416,106 @@ class WSMED:
                 obs.finish(current)  # no-op unless a phase failed mid-way
                 obs.finish(root)
 
+    def _disjunct_calculi(
+        self, query, name: str, optimize: str
+    ) -> list[tuple[CalculusQuery, list]]:
+        """One conjunctive calculus (plus rewrites) per OR branch.
+
+        Every branch must independently satisfy the binding patterns: a
+        branch whose conjuncts cannot bind an operation's inputs raises
+        :class:`~repro.util.errors.BindingError` like any conjunctive
+        query would.
+        """
+        aggregated = query.group_by or (
+            not isinstance(query.select, Star)
+            and any(isinstance(item.expression, FuncCall) for item in query.select)
+        )
+        if aggregated:
+            raise CalculusError(
+                "OR cannot be combined with aggregates or GROUP BY; "
+                "aggregate each branch in its own query instead"
+            )
+        branches = []
+        for index, branch in enumerate(query.disjuncts):
+            branch_query = _replace(query, predicates=branch, disjuncts=(branch,))
+            branch_name = f"{name}_or{index + 1}"
+            if optimize == "cost":
+                calc = generate_calculus(
+                    branch_query, self.functions, branch_name, allow_unbound=True
+                )
+                calc, rewrites = rewrite_unfittable(calc, self.functions)
+            else:
+                calc = generate_calculus(branch_query, self.functions, branch_name)
+                rewrites = []
+            branches.append((calc, rewrites))
+        return branches
+
+    def _union_plan(
+        self,
+        branches: list[tuple[CalculusQuery, list]],
+        *,
+        optimize: str,
+        observed: dict[str, tuple[float, float]] | None,
+        optimizer_config: OptimizerConfig | None,
+    ) -> PlanNode:
+        """Union the branch plans; DISTINCT / ORDER BY / LIMIT go on top.
+
+        Branch plans are built without post-processing (it must apply to
+        the union, not per branch); the calculus of the first branch
+        carries the resolved ORDER BY keys and LIMIT for the whole query.
+        """
+        plans = []
+        for calc, rewrites in branches:
+            bare = _replace(calc, distinct=False, order_by=(), limit=None)
+            if optimize == "cost":
+                plan, _ = create_cost_based_plan(
+                    bare,
+                    self.functions,
+                    self.cost_model(observed),
+                    optimizer_config,
+                    rewrites=rewrites,
+                )
+            else:
+                plan = create_central_plan(bare, self.functions)
+            plans.append(plan)
+        # OR has set semantics here: duplicate rows across (or within)
+        # branches are eliminated, i.e. the DISTINCT of the SQL result.
+        plan: PlanNode = DistinctNode(UnionNode(tuple(plans)))
+        spine = branches[0][0]
+        if spine.order_by:
+            for column, _ in spine.order_by:
+                if column not in plan.schema:
+                    raise PlanError(f"unknown ORDER BY column {column!r}")
+            plan = SortNode(plan, tuple(spine.order_by))
+        if spine.limit is not None:
+            plan = LimitNode(plan, spine.limit)
+        return plan
+
     def plan(
         self,
         sql_text: str,
         *,
-        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
-        fanouts: list[int] | None = None,
-        adaptation: AdaptationParams | None = None,
-        name: str = "Query",
-        obs=NULL_RECORDER,
-        optimize: str = "heuristic",
-        observed: dict[str, tuple[float, float]] | None = None,
+        options: QueryOptions | None = None,
+        **legacy,
     ) -> PlanNode:
-        """Compile SQL down to an executable plan for the given mode."""
+        """Compile SQL down to an executable plan for the given mode.
+
+        Accepts a :class:`~repro.wsmed.options.QueryOptions` (planning
+        fields only); the old individual keyword arguments still work but
+        are deprecated.
+        """
+        opts = resolve_options(
+            options, legacy, where="WSMED.plan", rejected=ENGINE_ONLY
+        )
         _, plan, _ = self._compile(
             sql_text,
-            mode=mode,
-            fanouts=fanouts,
-            adaptation=adaptation,
-            name=name,
-            obs=obs,
-            optimize=optimize,
-            observed=observed,
+            mode=opts.mode,
+            fanouts=opts.fanouts,
+            adaptation=opts.adaptation,
+            name=opts.name,
+            obs=opts.obs if opts.obs is not None else NULL_RECORDER,
+            optimize=opts.optimize,
+            observed=opts.observed,
         )
         return plan
 
@@ -409,12 +523,8 @@ class WSMED:
         self,
         sql_text: str,
         *,
-        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
-        fanouts: list[int] | None = None,
-        adaptation: AdaptationParams | None = None,
-        name: str = "Query",
-        optimize: str = "heuristic",
-        observed: dict[str, tuple[float, float]] | None = None,
+        options: QueryOptions | None = None,
+        **legacy,
     ) -> str:
         """Calculus, plan tree and cost estimate as a report.
 
@@ -424,17 +534,24 @@ class WSMED:
         binding-pattern reason) — or, when the heuristic pipeline cannot
         plan the query at all, the error the rewrite repaired.
         """
-        if optimize == "cost":
+        opts = resolve_options(
+            options, legacy, where="WSMED.explain", rejected=ENGINE_ONLY
+        )
+        if opts.optimize == "cost":
             return self._explain_cost(
                 sql_text,
-                mode=mode,
-                fanouts=fanouts,
-                adaptation=adaptation,
-                name=name,
-                observed=observed,
+                mode=opts.mode,
+                fanouts=opts.fanouts,
+                adaptation=opts.adaptation,
+                name=opts.name,
+                observed=opts.observed,
             )
         calculus, plan, _ = self._compile(
-            sql_text, mode=mode, fanouts=fanouts, adaptation=adaptation, name=name
+            sql_text,
+            mode=opts.mode,
+            fanouts=opts.fanouts,
+            adaptation=opts.adaptation,
+            name=opts.name,
         )
         model = CostModel(call_costs=self._profile_call_costs())
         estimate = estimate_plan(plan, self.functions, model)
@@ -579,22 +696,14 @@ class WSMED:
         self,
         sql_text: str,
         *,
-        mode: ExecutionMode | str = ExecutionMode.CENTRAL,
-        fanouts: list[int] | None = None,
-        adaptation: AdaptationParams | None = None,
-        kernel: Kernel | None = None,
-        fault_rate: float = 0.0,
-        retries: int = 0,
-        cache: CacheConfig | None = None,
-        process_costs: ProcessCosts | None = None,
-        on_error: str | None = None,
-        faults: FaultInjection | None = None,
-        name: str = "Query",
-        obs: NullRecorder | None = None,
-        optimize: str = "heuristic",
-        observed: dict[str, tuple[float, float]] | None = None,
+        options: QueryOptions | None = None,
+        **legacy,
     ) -> QueryResult:
         """Run a SQL query and return rows plus execution statistics.
+
+        All per-query knobs travel in ``options`` (a
+        :class:`~repro.wsmed.options.QueryOptions`); the old individual
+        keyword arguments still work but are deprecated.
 
         ``kernel`` defaults to a fresh simulated kernel (virtual time);
         pass an :class:`~repro.runtime.realtime.AsyncioKernel` to execute
@@ -618,32 +727,38 @@ class WSMED:
         ``observed`` overlays measured per-function (call cost, fanout)
         statistics onto the optimizer's cost model.
         """
-        mode = ExecutionMode.of(mode)
-        recorder = obs if obs is not None else NULL_RECORDER
+        opts = resolve_options(
+            options, legacy, where="WSMED.sql", rejected=ENGINE_ONLY
+        )
+        mode = ExecutionMode.of(opts.mode)
+        recorder = opts.obs if opts.obs is not None else NULL_RECORDER
         _, plan, _ = self._compile(
             sql_text,
             mode=mode,
-            fanouts=fanouts,
-            adaptation=adaptation,
-            name=name,
+            fanouts=opts.fanouts,
+            adaptation=opts.adaptation,
+            name=opts.name,
             obs=recorder,
-            optimize=optimize,
-            observed=observed,
+            optimize=opts.optimize,
+            observed=opts.observed,
         )
-        effective_costs = process_costs or self.process_costs
-        if on_error is not None:
-            effective_costs = _replace(effective_costs, on_error=on_error)
-        if faults is not None:
-            effective_costs = _replace(effective_costs, faults=faults)
-        kernel = kernel or SimKernel()
-        broker = self.registry.bind(kernel, seed=self.seed, fault_rate=fault_rate)
+        effective_costs = opts.process_costs or self.process_costs
+        if opts.on_error is not None:
+            effective_costs = _replace(effective_costs, on_error=opts.on_error)
+        if opts.faults is not None:
+            effective_costs = _replace(effective_costs, faults=opts.faults)
+        kernel = opts.kernel or SimKernel()
+        broker = self.registry.bind(
+            kernel, seed=self.seed, fault_rate=opts.fault_rate
+        )
         ctx = ExecutionContext(
             kernel=kernel,
             broker=broker,
             functions=self.functions,
-            retries=retries,
+            retries=opts.retries,
+            limit_pushdown=opts.limit_pushdown,
         )
-        ctx.install_cache(cache if cache is not None else self.cache_config)
+        ctx.install_cache(opts.cache if opts.cache is not None else self.cache_config)
         attach_placement = getattr(kernel, "attach_placement", None)
         if attach_placement is not None:
             # Multi-process kernel: children of FF/AFF pools are placed in
@@ -653,7 +768,7 @@ class WSMED:
                 functions=self.functions,
                 registry=self.registry,
                 seed=self.seed,
-                fault_rate=fault_rate,
+                fault_rate=opts.fault_rate,
             )
         executor = ParallelExecutor(ctx, effective_costs)
 
@@ -663,7 +778,7 @@ class WSMED:
             query_span = -1
             if recorder.enabled:
                 query_span = recorder.start(
-                    f"query:{name}",
+                    f"query:{opts.name}",
                     category="query",
                     process=ctx.process_name,
                     at=kernel.now(),

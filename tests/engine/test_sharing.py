@@ -9,6 +9,7 @@ from repro import (
     ShareConfig,
 )
 from repro.util.errors import ReproError
+from repro.wsmed.options import QueryOptions
 
 from tests.engine.test_engine import fresh_wsmed, trace_multiset
 
@@ -176,8 +177,8 @@ def test_replace_mid_query_condemns_shared_trees() -> None:
     async def scenario():
         return await kernel.gather(
             replace_mid_flight(),
-            engine._admitted(QUERY1_SQL, **PARALLEL),
-            engine._admitted(QUERY1_SQL, **PARALLEL),
+            engine._admitted(QUERY1_SQL, QueryOptions(**PARALLEL)),
+            engine._admitted(QUERY1_SQL, QueryOptions(**PARALLEL)),
         )
 
     _, first, second = kernel.run(scenario())

@@ -1,0 +1,92 @@
+"""LIMIT pushdown into FF_APPLYP/AFF_APPLYP pools.
+
+With ``limit_pushdown`` on (the default), a ``LIMIT k`` directly above a
+parallel apply stops dispatching parameter tuples to children once the
+k-th row has arrived, drains the in-flight calls without retrying or
+aborting, and emits exactly the first k arrival-order rows — the same
+rows the non-pushdown path yields, with strictly fewer web-service
+calls on worlds where the limit binds early.
+"""
+
+import pytest
+
+from benchmarks.worlds import WorldSpec, build_world
+from repro import QueryOptions
+
+LIMIT = 3
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldSpec(seed=17, chains=1, depth=2, roots=5, fanout=3))
+
+
+def _options(mode: str, **extra) -> QueryOptions:
+    if mode == "parallel":
+        extra.setdefault("fanouts", [2, 2])
+    return QueryOptions(mode=mode, **extra)
+
+
+@pytest.mark.parametrize("mode", ["parallel", "adaptive"])
+def test_pushdown_saves_calls_and_keeps_the_prefix(world, mode) -> None:
+    wsmed = world.build()
+    full = wsmed.sql(world.chain_sql(0), options=_options(mode))
+    limited = wsmed.sql(world.chain_sql(0, limit=LIMIT), options=_options(mode))
+    assert list(limited.rows) == list(full.rows)[:LIMIT]
+    assert limited.total_calls < full.total_calls
+
+
+@pytest.mark.parametrize("mode", ["parallel", "adaptive"])
+def test_pushdown_off_returns_identical_rows(world, mode) -> None:
+    wsmed = world.build()
+    on = wsmed.sql(world.chain_sql(0, limit=LIMIT), options=_options(mode))
+    off = wsmed.sql(
+        world.chain_sql(0, limit=LIMIT),
+        options=_options(mode, limit_pushdown=False),
+    )
+    assert list(on.rows) == list(off.rows)
+
+
+def test_pushdown_records_a_limit_stop_trace_event(world) -> None:
+    wsmed = world.build()
+    result = wsmed.sql(world.chain_sql(0, limit=LIMIT), options=_options("parallel"))
+    stops = [e for e in result.trace.events() if e.kind == "limit_stop"]
+    assert len(stops) == 1
+    assert stops[0].data["emitted"] == LIMIT
+    assert stops[0].data["dropped"] >= 0
+
+
+def test_no_pushdown_event_without_a_limit(world) -> None:
+    wsmed = world.build()
+    result = wsmed.sql(world.chain_sql(0), options=_options("parallel"))
+    assert not [e for e in result.trace.events() if e.kind == "limit_stop"]
+
+
+def test_pushdown_survives_transient_faults() -> None:
+    """Faults arriving after the stop are written off, not retried.
+
+    The flaky providers count attempts, so each run gets a *fresh* world
+    built from the same spec — identical tables, identical fault
+    schedule, identical deterministic replay up to the stop.
+    """
+    spec = WorldSpec(seed=5, chains=1, depth=2, roots=5, fanout=3, flaky_ops=2)
+
+    def run(limit):
+        world = build_world(spec)
+        return world.build().sql(
+            world.chain_sql(0, limit=limit),
+            options=_options("parallel", retries=1),
+        )
+
+    full = run(None)
+    limited = run(LIMIT)
+    assert list(limited.rows) == list(full.rows)[:LIMIT]
+    assert limited.total_calls < full.total_calls
+
+
+def test_central_limit_unchanged(world) -> None:
+    """No pool below the LIMIT: the plain truncation path is untouched."""
+    wsmed = world.build()
+    full = wsmed.sql(world.chain_sql(0))
+    limited = wsmed.sql(world.chain_sql(0, limit=LIMIT))
+    assert list(limited.rows) == list(full.rows)[:LIMIT]

@@ -172,8 +172,8 @@ def test_tenant_and_deadline_are_forwarded_to_the_engine() -> None:
             {"sql": "Select 1", "tenant": "analytics", "deadline_ms": 1500},
         )
         assert response.status == 200
-    assert seen["tenant"] == "analytics"
-    assert seen["deadline_ms"] == 1500
+    assert seen["options"].tenant == "analytics"
+    assert seen["options"].deadline_ms == 1500
 
 
 # -- admission status codes ------------------------------------------------------

@@ -125,6 +125,11 @@ def test_missing_comparison_operator_raises() -> None:
 
 def test_trailing_garbage_raises() -> None:
     with pytest.raises(ParseError, match="trailing"):
+        parse_query("SELECT a FROM t WHERE t.a = 1 = 2")
+
+
+def test_incomplete_group_by_raises() -> None:
+    with pytest.raises(ParseError, match="expected BY"):
         parse_query("SELECT a FROM t WHERE t.a = 1 GROUP")
 
 

@@ -1,0 +1,133 @@
+"""The unified QueryOptions API and its legacy-keyword compatibility shim."""
+
+import warnings
+
+import pytest
+
+from repro import (
+    QUERY1_SQL,
+    QueryEngine,
+    QueryOptions,
+    WSMED,
+)
+from repro.util.errors import PlanError
+from repro.wsmed.options import ENGINE_ONLY, ONE_SHOT_ONLY, resolve_options
+
+
+@pytest.fixture(scope="module")
+def wsmed():
+    system = WSMED(profile="fast")
+    system.import_all()
+    return system
+
+
+# -- resolve_options mechanics ---------------------------------------------------
+
+
+def test_legacy_keywords_merge_over_options_with_a_deprecation_warning() -> None:
+    base = QueryOptions(mode="parallel", retries=1)
+    with pytest.warns(DeprecationWarning, match="retries"):
+        resolved = resolve_options(base, {"retries": 3}, where="WSMED.sql")
+    assert resolved.mode == "parallel"
+    assert resolved.retries == 3
+
+
+def test_no_legacy_keywords_no_warning() -> None:
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        resolved = resolve_options(None, {}, where="WSMED.sql")
+    assert resolved == QueryOptions()
+
+
+def test_unknown_legacy_keyword_is_a_type_error() -> None:
+    with pytest.raises(TypeError, match="fanout_vector"):
+        resolve_options(None, {"fanout_vector": [3]}, where="WSMED.sql")
+
+
+def test_non_options_object_is_rejected() -> None:
+    with pytest.raises(PlanError, match="QueryOptions"):
+        resolve_options({"mode": "central"}, {}, where="WSMED.sql")
+
+
+def test_rejected_fields_raise_only_when_set() -> None:
+    resolve_options(QueryOptions(), {}, where="X", rejected=ENGINE_ONLY)
+    with pytest.raises(PlanError, match="tenant"):
+        resolve_options(
+            QueryOptions(tenant="analytics"), {}, where="X", rejected=ENGINE_ONLY
+        )
+
+
+# -- surface equivalence ---------------------------------------------------------
+
+
+def test_wsmed_sql_options_equals_legacy_kwargs(wsmed) -> None:
+    knobs = dict(mode="parallel", fanouts=[5, 4], retries=1)
+    with pytest.warns(DeprecationWarning):
+        legacy = wsmed.sql(QUERY1_SQL, **knobs)
+    modern = wsmed.sql(QUERY1_SQL, options=QueryOptions(**knobs))
+    assert sorted(legacy.rows) == sorted(modern.rows)
+    assert legacy.elapsed == modern.elapsed
+    assert legacy.total_calls == modern.total_calls
+
+
+def test_wsmed_explain_accepts_options(wsmed) -> None:
+    with pytest.warns(DeprecationWarning):
+        legacy = wsmed.explain(QUERY1_SQL, mode="parallel", fanouts=[5, 4])
+    modern = wsmed.explain(
+        QUERY1_SQL, options=QueryOptions(mode="parallel", fanouts=[5, 4])
+    )
+    assert legacy == modern
+
+
+def test_engine_sql_options_equals_legacy_kwargs() -> None:
+    def run(**call):
+        system = WSMED(profile="fast")
+        system.import_all()
+        engine = QueryEngine(system)
+        try:
+            return engine.sql(QUERY1_SQL, **call)
+        finally:
+            engine.close()
+
+    with pytest.warns(DeprecationWarning):
+        legacy = run(mode="adaptive", retries=1)
+    modern = run(options=QueryOptions(mode="adaptive", retries=1))
+    assert sorted(legacy.rows) == sorted(modern.rows)
+    assert legacy.elapsed == modern.elapsed
+
+
+# -- per-surface rejections ------------------------------------------------------
+
+
+def test_one_shot_rejects_engine_only_fields(wsmed) -> None:
+    with pytest.raises(PlanError, match="tenant"):
+        wsmed.sql(QUERY1_SQL, options=QueryOptions(tenant="analytics"))
+    with pytest.raises(PlanError, match="deadline_ms"):
+        wsmed.sql(QUERY1_SQL, options=QueryOptions(deadline_ms=50.0))
+
+
+def test_engine_rejects_one_shot_only_fields() -> None:
+    system = WSMED(profile="fast")
+    system.import_all()
+    engine = QueryEngine(system)
+    try:
+        with pytest.raises(PlanError, match="fault_rate"):
+            engine.sql(QUERY1_SQL, options=QueryOptions(fault_rate=0.5))
+        with pytest.raises(PlanError, match="observed"):
+            engine.sql(QUERY1_SQL, options=QueryOptions(observed={}))
+    finally:
+        engine.close()
+
+
+def test_field_sets_cover_distinct_fields() -> None:
+    assert not (ONE_SHOT_ONLY & ENGINE_ONLY)
+    field_names = set(QueryOptions.__dataclass_fields__)
+    assert ONE_SHOT_ONLY <= field_names
+    assert ENGINE_ONLY <= field_names
+
+
+def test_options_replace_validates_names() -> None:
+    options = QueryOptions()
+    assert options.replace(retries=2).retries == 2
+    with pytest.raises(TypeError):
+        options.replace(retrys=2)
